@@ -1,0 +1,74 @@
+// Figure 2a: memory requirements for massive models (Eqs. 1-5), and
+// Figure 2b: available memory and achievable bandwidth on the DGX-2
+// cluster model. Reproduces both tables row for row.
+#include <iostream>
+
+#include "common/units.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/report.hpp"
+
+using namespace zi;
+using namespace zi::sim;
+
+namespace {
+
+ModelShape make(std::int64_t layers, std::int64_t hidden, std::int64_t heads) {
+  ModelShape m;
+  m.layers = layers;
+  m.hidden = hidden;
+  m.attn_heads = heads;
+  m.seq = 1024;
+  return m;
+}
+
+std::string tib(double bytes, int precision = 2) {
+  return Table::num(bytes / static_cast<double>(kTiB), precision);
+}
+std::string gib(double bytes, int precision = 2) {
+  return Table::num(bytes / static_cast<double>(kGiB), precision);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Figure 2a — memory requirements (Eqs. 1-5)");
+  Table a({"params", "layers", "hidden", "heads", "model states (TB)",
+           "act (TB/node)", "act ckpt (TB/node)", "MSWM (GB)", "AWM (GB)"});
+  // The paper's five rows; batch 32 per node for activations, bsz 4 per GPU
+  // for activation working memory, ci = 1.
+  const ModelShape rows[] = {
+      make(80, 10240, 128),   // 0.10T
+      make(100, 20480, 160),  // 0.50T
+      make(128, 25600, 256),  // 1.01T
+      make(195, 65536, 512),  // 10.05T
+      make(315, 163840, 1024) // 101.47T
+  };
+  for (const ModelShape& m : rows) {
+    a.add_row({format_count(m.params()), std::to_string(m.layers),
+               std::to_string(m.hidden), std::to_string(m.attn_heads),
+               tib(m.model_state_bytes()),
+               tib(m.full_activation_bytes(32)),
+               tib(m.act_ckpt_bytes(32)), gib(m.mswm_bytes()),
+               gib(m.awm_bytes(4))});
+  }
+  a.print(std::cout);
+  std::cout << "\npaper row for 1.01T: 18.31 TB states, 0.20 TB act ckpt, "
+               "9.77 GB MSWM, 3.56 GB AWM\n";
+
+  print_banner(std::cout, "Figure 2b — DGX-2 cluster memory & bandwidth");
+  const ClusterSpec c = dgx2_cluster();
+  Table b({"nodes", "GPUs", "GPU mem (TB)", "CPU mem (TB)", "NVMe (TB)",
+           "GPU bw (GB/s)", "CPU bw/GPU (GB/s)", "NVMe bw/GPU (GB/s)"});
+  for (const int nodes : {1, 4, 16, 64, 96}) {
+    const double gpus = nodes * c.gpus_per_node;
+    b.add_row({std::to_string(nodes), std::to_string(static_cast<int>(gpus)),
+               tib(static_cast<double>(c.gpu_mem) * gpus, 1),
+               tib(static_cast<double>(c.cpu_mem_per_node) * nodes, 1),
+               tib(static_cast<double>(c.nvme_per_node) * nodes, 1),
+               Table::num(c.gpu_mem_bw / 1e9, 0),
+               Table::num(c.cpu_bw_per_gpu_parallel / 1e9, 1),
+               Table::num(c.nvme_bw_per_gpu_parallel / 1e9, 1)});
+  }
+  b.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 3: impact of bandwidth on training efficiency (Eq. 6) for
+// (a) parameters and gradients, (b) optimizer states, (c) activation
+// checkpoints — at 70 TFlops/GPU achievable peak.
+#include <iostream>
+#include <vector>
+
+#include "sim/efficiency.hpp"
+#include "sim/report.hpp"
+
+using namespace zi::sim;
+
+namespace {
+constexpr double kPeak = 70e12;
+
+void series(const std::string& title, const std::vector<double>& aits,
+            const std::vector<std::string>& labels,
+            const std::vector<double>& bws_gbs) {
+  print_banner(std::cout, title);
+  std::vector<std::string> headers = {"bw (GB/s)"};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  Table t(headers);
+  for (const double bw : bws_gbs) {
+    std::vector<std::string> row = {Table::num(bw, 1)};
+    for (const double ait : aits) {
+      row.push_back(Table::pct(efficiency(ait, bw * 1e9, kPeak)));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+}
+}  // namespace
+
+int main() {
+  const double seq = 1024;
+
+  series("Figure 3a — parameter+gradient bandwidth vs efficiency",
+         {ait_param_grad(1, seq), ait_param_grad(2, seq),
+          ait_param_grad(4, seq), ait_param_grad(8, seq),
+          ait_param_grad(16, seq)},
+         {"bsz 1", "bsz 2", "bsz 4", "bsz 8", "bsz 16"},
+         {1, 5, 10, 30, 70, 100, 200, 500});
+  std::cout << "\npaper: >=70 GB/s gives >50% efficiency even at bsz 1\n";
+
+  series("Figure 3b — optimizer-state bandwidth vs efficiency",
+         {ait_optimizer(1, seq), ait_optimizer(2, seq), ait_optimizer(4, seq),
+          ait_optimizer(8, seq), ait_optimizer(16, seq)},
+         {"bsz 1", "bsz 2", "bsz 4", "bsz 8", "bsz 16"},
+         {10, 50, 100, 300, 700, 1500, 3000});
+  std::cout << "\npaper: 90% efficiency at bsz 2 needs ~1.5 TB/s ("
+            << Table::num(
+                   bandwidth_for_efficiency(ait_optimizer(2, seq), kPeak, 0.9) /
+                       1e12,
+                   2)
+            << " TB/s here)\n";
+
+  series("Figure 3c — activation-checkpoint bandwidth vs efficiency",
+         {ait_activation(2048, 1), ait_activation(8192, 1),
+          ait_activation(16384, 1), ait_activation(32768, 1),
+          ait_activation(65536, 1)},
+         {"hd 2K", "hd 8K", "hd 16K", "hd 32K", "hd 64K"},
+         {0.5, 1, 2, 3, 5, 10});
+  std::cout << "\npaper: 2 GB/s sustains >50% at hd 2K; <1 GB/s suffices "
+               "beyond hd 8K\n";
+  return 0;
+}

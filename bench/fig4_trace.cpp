@@ -1,0 +1,84 @@
+// Figure 4 — "A snapshot of ZeRO-Infinity training a model with two layers
+// on four data parallel (DP) ranks. ... Partitioned parameters are moved
+// from slow memory to GPU and then collected to form the full layer. After
+// gradients are computed, they are aggregated, repartitioned, and then
+// offloaded to slow memory."
+//
+// The paper's Figure 4 is a schematic; here the SAME story is traced from
+// a live run: a 2-layer model on 4 ranks with NVMe-resident parameters,
+// printing rank 0's data-movement events for one training step in order.
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "model/gpt.hpp"
+#include "sim/report.hpp"
+
+using namespace zi;
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("zi_fig4_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  zi::sim::print_banner(
+      std::cout,
+      "Figure 4 — live data-movement trace: 2 layers, 4 DP ranks, NVMe "
+      "parameters (rank 0's view, one training step)");
+
+  GptConfig mc;
+  mc.vocab = 32;
+  mc.seq = 8;
+  mc.hidden = 16;
+  mc.layers = 2;
+  mc.heads = 2;
+  mc.checkpoint_activations = false;  // keep the trace readable
+
+  EngineConfig cfg = preset_zero_infinity_nvme();
+  cfg.nvme_dir = dir.string();
+  cfg.loss_scale.init_scale = 1024.0f;
+
+  std::vector<std::string> trace;
+  std::mutex trace_mutex;
+
+  AioEngine aio;
+  run_ranks(4, [&](Communicator& comm) {
+    Gpt model(mc);
+    ZeroEngine engine(model, comm, aio, cfg);
+    if (comm.rank() == 0) {
+      engine.coordinator()->set_event_recorder([&](const std::string& e) {
+        std::lock_guard<std::mutex> lock(trace_mutex);
+        trace.push_back(e);
+      });
+    }
+    std::vector<std::int32_t> tokens(2 * mc.seq), targets(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      tokens[i] = static_cast<std::int32_t>((comm.rank() + i) % 31);
+      targets[i] = static_cast<std::int32_t>((tokens[i] + 1) % 31);
+    }
+    // Two steps: the second one exercises the prefetcher (trace recorded
+    // on the first), which is the state Figure 4 depicts.
+    engine.train_step(tokens, targets);
+    {
+      std::lock_guard<std::mutex> lock(trace_mutex);
+      if (comm.rank() == 0) {
+        trace.push_back("---- step 2 (prefetcher active) ----");
+      }
+    }
+    engine.train_step(tokens, targets);
+  });
+
+  int i = 0;
+  for (const std::string& e : trace) {
+    std::cout << "  [" << i++ << "] " << e << "\n";
+  }
+  std::cout << "\nForward gathers each layer's parameters (allgather of the "
+               "four 1/4 shards), releases them after use; the backward "
+               "re-gathers, reduce-scatters gradients into per-rank shards "
+               "on the gradient tier, and step 2 shows NVMe shard reads "
+               "prefetched ahead of the consuming operator — the Figure 4 "
+               "pipeline.\n";
+  std::filesystem::remove_all(dir);
+  return 0;
+}

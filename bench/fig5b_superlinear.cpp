@@ -1,0 +1,42 @@
+// Figure 5b: superlinear weak scaling of a 1T-parameter model from 4 to 32
+// nodes (64 → 512 GPUs), constant batch per GPU.
+//
+// Paper: ZeRO-Infinity exceeds perfect linear scaling because aggregate
+// PCIe/NVMe bandwidth and CPU compute grow with node count while the
+// (fixed-size) model's offload traffic per GPU shrinks. Already 2.8 pflops
+// (44 TFlops/GPU) at 4 nodes.
+#include <iostream>
+
+#include "sim/model_zoo.hpp"
+#include "sim/report.hpp"
+
+using namespace zi::sim;
+
+int main() {
+  const ClusterSpec cluster = dgx2_cluster();
+  print_banner(std::cout, "Figure 5b — 1T model weak scaling, 4-32 nodes");
+
+  SimConfig cfg;
+  cfg.strategy = Strategy::kZeroInfNvme;
+  cfg.mp = 4;
+  cfg.model.layers = 128;
+  cfg.model.hidden = 25600;
+  cfg.model.attn_heads = 256;
+  cfg.model.batch_per_gpu = 5;
+
+  Table t({"nodes", "GPUs", "TFlops/GPU", "total pflops", "vs linear from 4n"});
+  double base_total = 0;
+  for (const int nodes : {4, 8, 16, 32}) {
+    cfg.nodes = nodes;
+    const SimResult r = simulate_iteration(cfg, cluster);
+    if (nodes == 4) base_total = r.pflops_total;
+    const double linear = base_total * nodes / 4.0;
+    t.add_row({std::to_string(nodes), std::to_string(nodes * 16),
+               Table::num(r.tflops_per_gpu, 1), Table::num(r.pflops_total, 2),
+               Table::num(r.pflops_total / linear, 2) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: 44 TF/GPU at 4 nodes rising super-linearly through "
+               "32 nodes (>1.0x vs linear)\n";
+  return 0;
+}

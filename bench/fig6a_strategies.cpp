@@ -1,0 +1,49 @@
+// Figure 6a: maximum model size per device-placement/partitioning strategy
+// (Table 2) on a single DGX-2 node (16 GPUs).
+//
+// Paper ladder: data parallelism 1.4B → ZeRO-2 / ZeRO-Offload ~13B →
+// ZeRO-3 ~20B → ZeRO-Inf-CPU ~100B → ZeRO-Inf-NVMe 1T (700x over DP).
+#include <iostream>
+
+#include "common/units.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/report.hpp"
+
+using namespace zi;
+using namespace zi::sim;
+
+int main() {
+  const ClusterSpec cluster = dgx2_cluster();
+  print_banner(std::cout,
+               "Figure 6a — max model size per strategy, 1 DGX-2 node");
+
+  const Strategy ladder[] = {
+      Strategy::kDataParallel, Strategy::kZero2,      Strategy::kZeroOffload,
+      Strategy::kZero3,        Strategy::kZeroInfCpu, Strategy::kZeroInfNvme,
+  };
+
+  Table t({"strategy", "opt+grad placement", "param placement", "max params",
+           "vs data parallel"});
+  const double dp = max_model_params(Strategy::kDataParallel, cluster, 1);
+  auto placements = [](Strategy s) -> std::pair<const char*, const char*> {
+    switch (s) {
+      case Strategy::kDataParallel: return {"GPU (replicated)", "GPU (replicated)"};
+      case Strategy::kZero2: return {"GPU (partitioned)", "GPU (replicated)"};
+      case Strategy::kZeroOffload: return {"CPU (partitioned)", "GPU (replicated)"};
+      case Strategy::kZero3: return {"GPU (partitioned)", "GPU (partitioned)"};
+      case Strategy::kZeroInfCpu: return {"CPU (partitioned)", "CPU (partitioned)"};
+      case Strategy::kZeroInfNvme: return {"NVMe (partitioned)", "NVMe (partitioned)"};
+      default: return {"-", "-"};
+    }
+  };
+  for (const Strategy s : ladder) {
+    const double p = max_model_params(s, cluster, 1);
+    const auto [opt, param] = placements(s);
+    t.add_row({strategy_name(s), opt, param, format_count(p),
+               Table::num(p / dp, 0) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: 1.4B -> 13B -> 13B -> 20B -> ~100B -> 1T "
+               "(700x over data parallelism)\n";
+  return 0;
+}

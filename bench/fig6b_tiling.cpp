@@ -1,0 +1,86 @@
+// Figure 6b: largest trainable hidden size vs memory-centric tiling factor
+// under the paper's fragmentation protocol — REAL execution against the
+// DeviceArena allocator.
+//
+// Protocol (Sec. 8.5): "we pre fragment the total GPU memory into 2 GB
+// contiguous chunks so that all memory allocation requests larger than 2GB
+// will fail." A virtual 32 GB V100 arena is pre-fragmented, and the exact
+// allocation sequence of the (tiled) hd→4hd operator's working set is
+// replayed against the allocator. A small REAL TiledLinear run then
+// demonstrates numerical equivalence end to end.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/tiling.hpp"
+#include "model/local_store.hpp"
+#include "sim/report.hpp"
+
+using namespace zi;
+using zi::sim::Table;
+using zi::sim::print_banner;
+
+int main() {
+  print_banner(std::cout,
+               "Figure 6b — max hidden size vs tiling factor (32 GB V100, "
+               "2 GiB pre-fragmented chunks)");
+
+  const std::vector<std::int64_t> hiddens = {4096,  8192,  16384,
+                                             32768, 65536, 131072};
+  Table t({"tiling factor", "max hidden size", "largest tile MSWM"});
+  for (const int tiles : {1, 2, 4, 8, 16, 32}) {
+    DeviceArena arena("v100", 32 * kGiB, DeviceArena::Mode::kVirtual);
+    arena.prefragment(2 * kGiB);
+    const std::int64_t best = max_hidden_with_tiling(arena, tiles, hiddens);
+    const double tile_mswm =
+        best > 0 ? 16.0 * static_cast<double>(best) *
+                       static_cast<double>(best) / tiles
+                 : 0.0;
+    t.add_row({std::to_string(tiles),
+               best > 0 ? std::to_string(best) : std::string("none"),
+               best > 0 ? format_bytes(static_cast<std::uint64_t>(tile_mswm))
+                        : std::string("-")});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: 8K without tiling; 64K with tiling (paper reaches "
+               "64K at factor 16; our fp16 param+grad accounting needs 32 — "
+               "see EXPERIMENTS.md)\n";
+
+  // Real numerical demonstration at laptop scale: a tiled linear is
+  // mathematically the same operator.
+  print_banner(std::cout, "Real tiled-vs-dense operator check (in=64, out=256)");
+  Linear dense("dense", 64, 256);
+  TiledLinear tiled("tiled", 64, 256, 8);
+  dense.finalize();
+  tiled.finalize();
+  LocalParamStore s1(dense), s2(tiled);
+  // Copy dense weights into the tiles.
+  const auto tparams = tiled.all_parameters();
+  for (int k = 0; k < tiled.tiles(); ++k) {
+    const auto [lo, hi] = tiled.tile_range(k);
+    Parameter* tw = tparams[static_cast<std::size_t>(2 * k)];
+    Parameter* tb = tparams[static_cast<std::size_t>(2 * k + 1)];
+    for (std::int64_t r = 0; r < 64; ++r) {
+      for (std::int64_t c2 = lo; c2 < hi; ++c2) {
+        tw->full_tensor().set(r * (hi - lo) + (c2 - lo),
+                              dense.weight()->full_tensor().get(r * 256 + c2));
+      }
+    }
+    for (std::int64_t c2 = lo; c2 < hi; ++c2) {
+      tb->full_tensor().set(c2 - lo, dense.bias()->full_tensor().get(c2));
+    }
+  }
+  Tensor x({16, 64}, DType::kF32);
+  Rng rng(1, 0);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x.set(i, rng.next_normal());
+  Tensor yd = dense.run_forward(x.clone());
+  Tensor yt = tiled.run_forward(x.clone());
+  double max_diff = 0;
+  for (std::int64_t i = 0; i < yd.numel(); ++i) {
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(yd.get(i) - yt.get(i))));
+  }
+  std::cout << "max |dense - tiled| over 16x256 outputs: " << max_diff
+            << " (fp32 noise only)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Microbenchmarks for the in-process collectives substrate.
+#include <benchmark/benchmark.h>
+
+#include "comm/world.hpp"
+
+namespace {
+
+using namespace zi;
+
+void BM_Allgather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](Communicator& comm) {
+      std::vector<float> send(elems, static_cast<float>(comm.rank()));
+      std::vector<float> recv(elems * static_cast<std::size_t>(ranks));
+      for (int i = 0; i < 8; ++i) {
+        comm.allgather<float>(send, recv);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          ranks * static_cast<std::int64_t>(elems) * 4);
+}
+BENCHMARK(BM_Allgather)->Args({2, 4096})->Args({4, 4096})->Args({4, 65536})->MinTime(0.05);
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](Communicator& comm) {
+      std::vector<float> send(elems * static_cast<std::size_t>(ranks), 1.0f);
+      std::vector<float> recv(elems);
+      for (int i = 0; i < 8; ++i) {
+        comm.reduce_scatter_sum<float>(send, recv);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          ranks * static_cast<std::int64_t>(elems) * 4);
+}
+BENCHMARK(BM_ReduceScatter)->Args({2, 4096})->Args({4, 4096})->Args({4, 65536})->MinTime(0.05);
+
+void BM_ReduceScatterHalf(benchmark::State& state) {
+  const int ranks = 4;
+  const std::size_t elems = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](Communicator& comm) {
+      std::vector<half> send(elems * ranks, half(1.0f));
+      std::vector<half> recv(elems);
+      for (int i = 0; i < 8; ++i) {
+        comm.reduce_scatter_sum<half>(send, recv);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          ranks * static_cast<std::int64_t>(elems) * 2);
+}
+BENCHMARK(BM_ReduceScatterHalf)->Arg(4096)->Arg(65536)->MinTime(0.05);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_ranks(ranks, [&](Communicator& comm) {
+      for (int i = 0; i < 64; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

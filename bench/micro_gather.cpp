@@ -1,0 +1,93 @@
+// Real gather-path latency across the memory hierarchy: the wall-clock
+// cost of parameter fetch/release cycles (shard load → allgather → fp32
+// materialization) by tier and size, on this machine.
+//
+// This is the per-operator cost the prefetcher exists to hide; comparing
+// rows shows the GPU < CPU < NVMe ordering the whole design assumes.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "comm/world.hpp"
+#include "core/coordinator.hpp"
+#include "model/linear.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path bench_dir() {
+  static const fs::path dir = [] {
+    const fs::path d = fs::temp_directory_path() /
+                       ("zi_bench_gather_" + std::to_string(::getpid()));
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+// Both ranks run a fixed number of fetch/release cycles inside the timed
+// region (the collective requires symmetric participation).
+void BM_GatherRelease(benchmark::State& state) {
+  using namespace zi;
+  const auto tier = static_cast<Tier>(state.range(0));
+  const std::int64_t dim = state.range(1);
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kStage3;
+  cfg.param_placement = tier;
+  cfg.optimizer_placement = Placement::kCpu;
+  cfg.grad_placement = Placement::kCpu;
+  cfg.overlap_transfers = false;  // measure the raw, unhidden path
+  cfg.nvme_dir = bench_dir().string();
+  cfg.gpu_arena_bytes = 64 * kMiB;
+  constexpr int kInner = 32;
+
+  for (auto _ : state) {
+    AioEngine aio;
+    double rank0_seconds = 0.0;
+    run_ranks(2, [&](Communicator& comm) {
+      Linear lin("lin", dim, dim);
+      lin.finalize();
+      RankResources res(comm.rank(), aio, cfg.gpu_arena_bytes, 256 * kMiB,
+                        bench_dir(), 1 * kMiB, 4);
+      ModelStateStore store(res, cfg, lin.all_parameters(), comm.rank(), 2);
+      ParamCoordinator coord(store, res, comm, cfg);
+      Parameter* w = lin.weight();
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kInner; ++i) {
+        coord.fetch(w, /*for_backward=*/false);
+        benchmark::DoNotOptimize(w->data());
+        coord.release(w);
+      }
+      if (comm.rank() == 0) {
+        rank0_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      }
+    });
+    state.SetIterationTime(rank0_seconds);  // world setup excluded
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kInner * dim * dim * 2);  // fp16 bytes gathered
+  state.SetLabel(zi::tier_name(tier));
+}
+
+}  // namespace
+
+BENCHMARK(BM_GatherRelease)
+    ->Args({static_cast<int>(zi::Tier::kGpu), 256})
+    ->Args({static_cast<int>(zi::Tier::kCpu), 256})
+    ->Args({static_cast<int>(zi::Tier::kNvme), 256})
+    ->Args({static_cast<int>(zi::Tier::kNvme), 1024})
+    ->MinTime(0.05)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::filesystem::remove_all(bench_dir());
+  return 0;
+}

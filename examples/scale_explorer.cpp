@@ -1,0 +1,85 @@
+// scale_explorer — answer "can I train an N-parameter model on K nodes,
+// and how fast?" from the command line, using the paper's memory and
+// timeline models.
+//
+//   ./scale_explorer <params> [nodes] [batch_per_gpu]
+//   ./scale_explorer 175e9 1 4        # GPT-3 on one DGX-2
+//   ./scale_explorer 32e12 32 1       # the Fig. 1 headline
+//
+// Prints, for every strategy in Table 2 (+ 3D parallelism): the per-tier
+// memory footprint, feasibility with the binding tier, and the predicted
+// iteration time / throughput for the feasible ones.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/units.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/report.hpp"
+#include "sim/timeline.hpp"
+
+using namespace zi;
+using namespace zi::sim;
+
+int main(int argc, char** argv) {
+  const double params = argc > 1 ? std::atof(argv[1]) : 175e9;
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 1;
+  const int batch = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  const ClusterSpec cluster = dgx2_cluster();
+  ModelShape shape = shape_for_params(params);
+  shape.batch_per_gpu = batch;
+
+  print_banner(std::cout, "Scale explorer — " + format_count(params) +
+                              " params on " + std::to_string(nodes) +
+                              " DGX-2 node(s), batch " +
+                              std::to_string(batch) + "/GPU");
+  std::cout << "model shape: " << shape.layers << " layers x hidden "
+            << shape.hidden << " (" << format_count(shape.params())
+            << " params; " << format_bytes(static_cast<std::uint64_t>(
+                                  shape.model_state_bytes()))
+            << " of model states at 20 B/param)\n\n";
+
+  const Strategy all[] = {
+      Strategy::kDataParallel, Strategy::kZero2,  Strategy::kZeroOffload,
+      Strategy::kZero3,        Strategy::kThreeD, Strategy::kZeroInfCpu,
+      Strategy::kZeroInfNvme,
+  };
+
+  Table t({"strategy", "GPU/GPU", "CPU/node", "NVMe/node", "fits?",
+           "iter time", "TFlops/GPU"});
+  for (const Strategy s : all) {
+    const MemoryFootprint f = strategy_footprint(shape, s, cluster, nodes);
+    SimConfig sim;
+    sim.model = shape;
+    sim.strategy = s;
+    sim.nodes = nodes;
+    const SimResult r = simulate_iteration(sim, cluster);
+    t.add_row(
+        {strategy_name(s),
+         format_bytes(static_cast<std::uint64_t>(f.gpu_per_gpu)),
+         format_bytes(static_cast<std::uint64_t>(f.cpu_per_node)),
+         format_bytes(static_cast<std::uint64_t>(f.nvme_per_node)),
+         f.feasible ? "yes" : "no (" + f.limiter + ")",
+         r.feasible ? format_duration(r.iter_time) : "-",
+         r.feasible ? Table::num(r.tflops_per_gpu, 1) : "-"});
+  }
+  t.print(std::cout);
+
+  // Smallest cluster that can hold this model per strategy.
+  print_banner(std::cout, "Minimum nodes to fit");
+  Table m({"strategy", "min nodes", "max params at that size"});
+  for (const Strategy s : all) {
+    int need = -1;
+    for (const int n : {1, 2, 4, 8, 16, 32, 64, 96}) {
+      if (strategy_footprint(shape, s, cluster, n).feasible) {
+        need = n;
+        break;
+      }
+    }
+    m.add_row({strategy_name(s), need < 0 ? "> 96" : std::to_string(need),
+               need < 0 ? "-" : format_count(max_model_params(
+                                    s, cluster, need))});
+  }
+  m.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Memory-centric tiling rescuing a "giant" layer from fragmentation
+// (Sec. 5.1.3 / Fig. 6b) — on the REAL training engine.
+//
+// The GPU arena is pre-fragmented so that no contiguous allocation larger
+// than CHUNK succeeds. The untiled model needs one contiguous fp32 buffer
+// per gathered MLP weight that exceeds CHUNK, so ZeRO-3 training fails
+// with a contiguity OOM. The same model with a tiling factor of 4 gathers
+// one tile at a time and trains normally — no model-parallel rewrite, just
+// a factory swap (the ease-of-use contract).
+#include <filesystem>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "model/gpt.hpp"
+#include "core/tiling.hpp"
+
+using namespace zi;
+namespace fs = std::filesystem;
+
+namespace {
+
+float try_training(int tiling_factor, const fs::path& dir, bool& oomed,
+                   std::string& error) {
+  GptConfig mc;
+  mc.vocab = 64;
+  mc.seq = 8;
+  mc.hidden = 64;  // fc1 gathers 64x256 fp32 = 64 KiB — our "giant" layer
+  mc.layers = 1;
+  mc.heads = 4;
+  if (tiling_factor > 1) {
+    mc.linear_factory = TiledLinear::factory(tiling_factor);
+  }
+
+  EngineConfig cfg = preset_zero_infinity_cpu();
+  cfg.nvme_dir = dir.string();
+  cfg.gpu_arena_bytes = 4 * kMiB;
+  // Pre-fragment: no contiguous block over 52 KiB (the fc1 weight needs
+  // 64 KiB untiled, 16 KiB per tile at factor 4; the largest non-MLP
+  // tensor — the 48 KiB QKV weight — still fits with alignment slack).
+  cfg.gpu_prefragment_chunk = 52 * kKiB;
+  cfg.loss_scale.init_scale = 1024.0f;
+
+  float last_loss = -1.0f;
+  oomed = false;
+  AioEngine aio;
+  try {
+    run_ranks(2, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> tokens(2 * mc.seq), targets(tokens.size());
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        tokens[i] = static_cast<std::int32_t>((comm.rank() + i * 3) % 63);
+        targets[i] = static_cast<std::int32_t>((tokens[i] + 1) % 63);
+      }
+      for (int s = 0; s < 5; ++s) {
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) last_loss = st.global_loss;
+      }
+    });
+  } catch (const OutOfMemoryError& e) {
+    oomed = true;
+    error = e.what();
+  }
+  return last_loss;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path dir =
+      fs::temp_directory_path() / ("zi_tiled_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::cout << "=== memory-centric tiling on a fragmented GPU arena ===\n\n";
+  std::cout << "arena: 4 MiB, pre-fragmented into 52 KiB chunks\n";
+  std::cout << "model: 1-layer GPT, hidden 64 — fc1 gathers a 64 KiB fp32 "
+               "weight\n\n";
+
+  bool oomed = false;
+  std::string error;
+  const float untiled = try_training(/*tiling_factor=*/1, dir / "u", oomed, error);
+  if (oomed) {
+    std::cout << "untiled  : FAILS as expected —\n  " << error << "\n\n";
+  } else {
+    std::cout << "untiled  : unexpectedly trained (loss " << untiled << ")\n\n";
+  }
+
+  const float tiled = try_training(/*tiling_factor=*/4, dir / "t", oomed, error);
+  if (!oomed) {
+    std::cout << "tiling x4: trains fine, loss after 5 steps = " << tiled
+              << "\n";
+    std::cout << "\nSame model source; only the linear factory changed — no "
+                 "model parallelism, no code refactoring (Sec. 5.1.3).\n";
+  } else {
+    std::cout << "tiling x4: FAILED —\n  " << error << "\n";
+  }
+  fs::remove_all(dir);
+  return 0;
+}

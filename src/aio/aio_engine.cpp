@@ -1,0 +1,211 @@
+#include "aio/aio_engine.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "mem/aligned.hpp"
+
+namespace zi {
+
+// ---------------------------------------------------------------------------
+// AioStatus
+
+struct AioStatus::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void complete_one(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (err && !error) error = err;
+    ZI_CHECK(pending > 0);
+    if (--pending == 0) cv.notify_all();
+  }
+};
+
+void AioStatus::wait() const {
+  if (!state_) return;  // default-constructed: trivially complete
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+bool AioStatus::done() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->pending == 0;
+}
+
+// ---------------------------------------------------------------------------
+// AioFile
+
+AioFile::~AioFile() {
+  if (buffered_fd_ >= 0) ::close(buffered_fd_);
+  if (direct_fd_ >= 0) ::close(direct_fd_);
+}
+
+std::uint64_t AioFile::size() const {
+  struct stat st{};
+  ZI_CHECK(::fstat(buffered_fd_, &st) == 0);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void AioFile::resize(std::uint64_t bytes) {
+  if (::ftruncate(buffered_fd_, static_cast<off_t>(bytes)) != 0) {
+    throw IoError("ftruncate(" + path_ + "): " + std::strerror(errno));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AioEngine
+
+AioEngine::AioEngine(AioConfig config)
+    : config_(config), pool_(config.num_workers) {
+  ZI_CHECK(config_.block_bytes > 0);
+}
+
+AioEngine::~AioEngine() {
+  // ThreadPool destructor joins workers after the queue empties, so all
+  // outstanding sub-requests finish before file descriptors close.
+  pool_.wait_idle();
+}
+
+AioFile* AioEngine::open(const std::filesystem::path& path) {
+  const int buffered_fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (buffered_fd < 0) {
+    throw IoError("open(" + path.string() + "): " + std::strerror(errno));
+  }
+  int direct_fd = -1;
+  if (config_.try_odirect) {
+    direct_fd = ::open(path.c_str(), O_RDWR | O_DIRECT, 0644);
+    if (direct_fd < 0) {
+      ZI_LOG_INFO << "O_DIRECT unavailable for " << path.string()
+                  << " (errno=" << errno << "); using buffered I/O";
+    }
+  }
+  auto file = std::unique_ptr<AioFile>(
+      new AioFile(path.string(), buffered_fd, direct_fd));
+  AioFile* raw = file.get();
+  std::lock_guard<std::mutex> lock(files_mutex_);
+  files_.push_back(std::move(file));
+  return raw;
+}
+
+AioStatus AioEngine::submit_read(AioFile* file, std::uint64_t offset,
+                                 std::span<std::byte> buf) {
+  return submit(file, offset, buf.data(), buf.size(), OpKind::kRead);
+}
+
+AioStatus AioEngine::submit_write(AioFile* file, std::uint64_t offset,
+                                  std::span<const std::byte> buf) {
+  // Writes never modify the buffer; const_cast confined to this boundary.
+  return submit(file, offset, const_cast<std::byte*>(buf.data()), buf.size(),
+                OpKind::kWrite);
+}
+
+void AioEngine::read(AioFile* file, std::uint64_t offset,
+                     std::span<std::byte> buf) {
+  submit_read(file, offset, buf).wait();
+}
+
+void AioEngine::write(AioFile* file, std::uint64_t offset,
+                      std::span<const std::byte> buf) {
+  submit_write(file, offset, buf).wait();
+}
+
+AioStatus AioEngine::submit(AioFile* file, std::uint64_t offset,
+                            std::byte* buf, std::size_t len, OpKind kind) {
+  ZI_CHECK(file != nullptr);
+  auto state = std::make_shared<AioStatus::State>();
+  if (len == 0) return AioStatus(state);
+
+  const std::size_t num_blocks =
+      (len + config_.block_bytes - 1) / config_.block_bytes;
+  state->pending = num_blocks;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.sub_requests += num_blocks;
+    if (kind == OpKind::kRead) {
+      stats_.bytes_read += len;
+    } else {
+      stats_.bytes_written += len;
+    }
+  }
+
+  // Split into block-sized sub-requests scheduled across the worker pool:
+  // a single-threaded caller still drives all workers in parallel.
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t chunk_off = b * config_.block_bytes;
+    const std::size_t chunk_len = std::min(config_.block_bytes, len - chunk_off);
+    pool_.enqueue([this, file, offset, buf, chunk_off, chunk_len, kind, state] {
+      run_sub_request(file, offset + chunk_off, buf + chunk_off, chunk_len,
+                      kind, state);
+    });
+  }
+  return AioStatus(state);
+}
+
+void AioEngine::run_sub_request(
+    AioFile* file, std::uint64_t offset, std::byte* buf, std::size_t len,
+    OpKind kind, const std::shared_ptr<AioStatus::State>& state) {
+  std::exception_ptr error;
+  try {
+    // O_DIRECT eligibility: aligned offset, length, and buffer address.
+    const bool aligned = (offset % kIoAlignment == 0) &&
+                         (len % kIoAlignment == 0) &&
+                         (reinterpret_cast<std::uintptr_t>(buf) % kIoAlignment == 0);
+    const bool use_direct = file->direct_fd_ >= 0 && aligned;
+    const int fd = use_direct ? file->direct_fd_ : file->buffered_fd_;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (use_direct) {
+        ++stats_.direct_ops;
+      } else {
+        ++stats_.buffered_ops;
+      }
+    }
+
+    std::size_t done = 0;
+    while (done < len) {
+      ssize_t n;
+      if (kind == OpKind::kRead) {
+        n = ::pread(fd, buf + done, len - done,
+                    static_cast<off_t>(offset + done));
+      } else {
+        n = ::pwrite(fd, buf + done, len - done,
+                     static_cast<off_t>(offset + done));
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw IoError(std::string(kind == OpKind::kRead ? "pread(" : "pwrite(") +
+                      file->path_ + "): " + std::strerror(errno));
+      }
+      if (n == 0 && kind == OpKind::kRead) {
+        throw IoError("pread(" + file->path_ + "): unexpected EOF at offset " +
+                      std::to_string(offset + done));
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  state->complete_one(error);
+}
+
+void AioEngine::drain() { pool_.wait_idle(); }
+
+AioEngine::Stats AioEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace zi

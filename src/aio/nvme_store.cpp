@@ -1,0 +1,50 @@
+#include "aio/nvme_store.hpp"
+
+#include "common/error.hpp"
+
+namespace zi {
+
+NvmeStore::NvmeStore(AioEngine& engine, const std::filesystem::path& path,
+                     std::uint64_t capacity)
+    : engine_(engine), path_(path.string()) {
+  ZI_CHECK(capacity > 0);
+  file_ = engine_.open(path);
+  extents_ = std::make_unique<DeviceArena>("nvme:" + path_, capacity,
+                                           DeviceArena::Mode::kVirtual);
+}
+
+Extent NvmeStore::allocate(std::uint64_t bytes) {
+  // Align extents so whole-extent transfers stay O_DIRECT-eligible.
+  return Extent(extents_->allocate(bytes, kIoAlignment));
+}
+
+AioStatus NvmeStore::write_async(const Extent& extent,
+                                 std::span<const std::byte> buf,
+                                 std::uint64_t offset) {
+  ZI_CHECK_MSG(extent.valid(), "write to released extent");
+  ZI_CHECK_MSG(offset + buf.size() <= extent.size(),
+               "write of " << buf.size() << " bytes at offset " << offset
+                           << " exceeds extent of " << extent.size());
+  return engine_.submit_write(file_, extent.offset() + offset, buf);
+}
+
+AioStatus NvmeStore::read_async(const Extent& extent, std::span<std::byte> buf,
+                                std::uint64_t offset) const {
+  ZI_CHECK_MSG(extent.valid(), "read from released extent");
+  ZI_CHECK_MSG(offset + buf.size() <= extent.size(),
+               "read of " << buf.size() << " bytes at offset " << offset
+                          << " exceeds extent of " << extent.size());
+  return engine_.submit_read(file_, extent.offset() + offset, buf);
+}
+
+void NvmeStore::write(const Extent& extent, std::span<const std::byte> buf,
+                      std::uint64_t offset) {
+  write_async(extent, buf, offset).wait();
+}
+
+void NvmeStore::read(const Extent& extent, std::span<std::byte> buf,
+                     std::uint64_t offset) const {
+  read_async(extent, buf, offset).wait();
+}
+
+}  // namespace zi

@@ -1,0 +1,107 @@
+#include "comm/world.hpp"
+
+#include <thread>
+
+namespace zi {
+
+void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
+  ZI_CHECK(num_ranks > 0);
+  auto shared = std::make_shared<detail::WorldShared>(num_ranks);
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(r, shared);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Communicator::barrier() {
+  shared_->traffic.barriers.fetch_add(1, std::memory_order_relaxed);
+  shared_->sync.arrive_and_wait();
+}
+
+Communicator Communicator::split(int color) {
+  auto& s = *shared_;
+  // Publish every rank's color.
+  thread_local int slot;
+  slot = color;
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  s.sync.arrive_and_wait();
+  std::vector<int> members;
+  for (int r = 0; r < s.num_ranks; ++r) {
+    if (*static_cast<const int*>(s.src_ptrs[static_cast<std::size_t>(r)]) ==
+        color) {
+      members.push_back(r);
+    }
+  }
+  int sub_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank_) sub_rank = static_cast<int>(i);
+  }
+  ZI_CHECK(sub_rank >= 0);
+
+  // First member to arrive creates the subgroup state; the ordinal keeps
+  // successive split() calls from colliding.
+  std::shared_ptr<detail::WorldShared> sub;
+  {
+    std::lock_guard<std::mutex> lock(s.split_mutex);
+    auto& entry = s.split_groups[{split_calls_, color}];
+    if (!entry) {
+      entry = std::make_shared<detail::WorldShared>(
+          static_cast<int>(members.size()));
+    }
+    sub = entry;
+  }
+  ++split_calls_;
+  s.sync.arrive_and_wait();  // everyone joined before first subgroup use
+  return Communicator(sub_rank, std::move(sub));
+}
+
+double Communicator::allreduce_sum_scalar(double value) {
+  auto& s = *shared_;
+  thread_local double slot;
+  slot = value;
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  s.sync.arrive_and_wait();
+  double acc = 0.0;
+  for (int r = 0; r < s.num_ranks; ++r) {
+    acc += *static_cast<const double*>(
+        s.src_ptrs[static_cast<std::size_t>(r)]);
+  }
+  s.sync.arrive_and_wait();
+  return acc;
+}
+
+bool Communicator::allreduce_or(bool value) {
+  return allreduce_max(value ? 1.0 : 0.0) > 0.5;
+}
+
+double Communicator::allreduce_max(double value) {
+  auto& s = *shared_;
+  // Reuse the pointer-exchange protocol with a per-rank double.
+  thread_local double slot;
+  slot = value;
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  s.sync.arrive_and_wait();
+  double best = value;
+  for (int r = 0; r < s.num_ranks; ++r) {
+    best = std::max(best, *static_cast<const double*>(
+                              s.src_ptrs[static_cast<std::size_t>(r)]));
+  }
+  s.sync.arrive_and_wait();
+  return best;
+}
+
+}  // namespace zi

@@ -1,0 +1,350 @@
+// In-process data-parallel world: rank threads + MPI-style collectives.
+//
+// The paper's data-parallel processes become threads of one process, and
+// NCCL collectives become shared-memory collectives with *deterministic
+// rank-order reduction*. Determinism is a deliberate design decision (see
+// DESIGN.md): ZeRO-3's reduce-scatter and classic DDP's allreduce both sum
+// contributions in ascending rank order with fp32 accumulation, so the
+// ZeRO ≡ DDP training-equivalence tests can use tight tolerances.
+//
+// The collective API mirrors MPI semantics (barrier / broadcast / allgather
+// / reduce_scatter / allreduce / gather), so a real MPI or NCCL backend
+// could be substituted without touching the training engine.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace zi {
+
+class Communicator;
+
+/// Byte counters per collective kind, aggregated over all ranks. "Bytes"
+/// counts the data each rank contributes (send-side volume), matching how
+/// the paper accounts data-movement volume in Sec. 4.
+struct CommTraffic {
+  std::atomic<std::uint64_t> allgather_bytes{0};
+  std::atomic<std::uint64_t> reduce_scatter_bytes{0};
+  std::atomic<std::uint64_t> broadcast_bytes{0};
+  std::atomic<std::uint64_t> allreduce_bytes{0};
+  std::atomic<std::uint64_t> p2p_bytes{0};
+  std::atomic<std::uint64_t> barriers{0};
+  std::atomic<std::uint64_t> collectives{0};
+};
+
+namespace detail {
+/// One buffered point-to-point message (payload copied at send time so the
+/// sender never blocks on the receiver — eager protocol).
+struct P2pMessage {
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+/// FIFO channel between one (sender, receiver) pair.
+struct P2pChannel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<P2pMessage> queue;
+};
+
+/// State shared by all ranks of one World.
+struct WorldShared {
+  explicit WorldShared(int n)
+      : num_ranks(n),
+        sync(n),
+        src_ptrs(static_cast<std::size_t>(n), nullptr),
+        dst_ptrs(static_cast<std::size_t>(n), nullptr),
+        counts(static_cast<std::size_t>(n), 0),
+        channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {}
+
+  P2pChannel& channel(int from, int to) {
+    return channels[static_cast<std::size_t>(from) *
+                        static_cast<std::size_t>(num_ranks) +
+                    static_cast<std::size_t>(to)];
+  }
+
+  int num_ranks;
+  std::barrier<> sync;
+  std::vector<const void*> src_ptrs;
+  std::vector<void*> dst_ptrs;
+  std::vector<std::size_t> counts;
+  std::vector<P2pChannel> channels;
+  CommTraffic traffic;
+
+  // Subgroup registry for split(): keyed by (per-rank split-call ordinal,
+  // color); the first member to arrive creates the subgroup's shared
+  // state, everyone else joins it.
+  std::mutex split_mutex;
+  std::map<std::pair<int, int>, std::shared_ptr<WorldShared>> split_groups;
+};
+}  // namespace detail
+
+/// Launch `num_ranks` threads, each receiving a Communicator bound to its
+/// rank, and join them. The first exception thrown by any rank is rethrown
+/// on the caller after all ranks finish.
+void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn);
+
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return shared_->num_ranks; }
+  const CommTraffic& traffic() const noexcept { return shared_->traffic; }
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Replicate root's `data` to every rank's `data`.
+  template <typename T>
+  void broadcast(std::span<T> data, int root);
+
+  /// Each rank contributes `send`; every rank receives the concatenation
+  /// [rank 0 | rank 1 | ...] in `recv`. All contributions are equal-sized;
+  /// recv.size() == send.size() * size().
+  template <typename T>
+  void allgather(std::span<const T> send, std::span<T> recv);
+
+  /// Each rank contributes `send` of size recv.size()*size(); rank r
+  /// receives the element-wise sum (over ranks, ascending order, fp32
+  /// accumulation) of chunk r in `recv`.
+  template <typename T>
+  void reduce_scatter_sum(std::span<const T> send, std::span<T> recv);
+
+  /// Element-wise sum across ranks, result replicated (rank-order, fp32
+  /// accumulation — same arithmetic as reduce_scatter_sum + allgather).
+  template <typename T>
+  void allreduce_sum(std::span<T> data);
+
+  /// Root receives the concatenation of equal-sized contributions.
+  template <typename T>
+  void gather(std::span<const T> send, std::span<T> recv, int root);
+
+  /// Max over ranks of a scalar (used for dynamic loss-scale coordination).
+  double allreduce_max(double value);
+
+  /// Sum over ranks of a scalar in ascending rank order (deterministic) —
+  /// used for global gradient norms.
+  double allreduce_sum_scalar(double value);
+
+  // --- point-to-point (MPI-style, eager/buffered) --------------------------
+
+  /// Send `data` to rank `to`; copies the payload and returns immediately
+  /// (eager protocol — a ring where everyone sends before receiving cannot
+  /// deadlock).
+  template <typename T>
+  void send(std::span<const T> data, int to, int tag = 0);
+
+  /// Receive the next message with `tag` from rank `from` (blocks).
+  /// Message sizes must match exactly; per-channel delivery is FIFO.
+  template <typename T>
+  void recv(std::span<T> data, int from, int tag = 0);
+
+  /// Logical OR over ranks (overflow detection).
+  bool allreduce_or(bool value);
+
+  /// Split the world into disjoint subgroups (MPI_Comm_split semantics):
+  /// every rank supplies a `color`; ranks sharing a color receive a
+  /// communicator over that subgroup, with sub-ranks assigned in ascending
+  /// world-rank order. Collective — all ranks must call in lockstep. This
+  /// is the substrate for 2D (tensor × data) parallel grids.
+  Communicator split(int color);
+
+ private:
+  friend void run_ranks(int, const std::function<void(Communicator&)>&);
+  Communicator(int rank, std::shared_ptr<detail::WorldShared> shared)
+      : rank_(rank), shared_(std::move(shared)) {}
+
+  // Accumulation helpers: fp32 accumulate regardless of storage type.
+  static float load_as_float(const float* p) { return *p; }
+  static float load_as_float(const half* p) { return p->to_float(); }
+  static float load_as_float(const double* p) { return static_cast<float>(*p); }
+  static void store_from_float(float* p, float v) { *p = v; }
+  static void store_from_float(half* p, float v) { *p = half(v); }
+  static void store_from_float(double* p, float v) { *p = v; }
+
+  int rank_;
+  std::shared_ptr<detail::WorldShared> shared_;
+  int split_calls_ = 0;  ///< lockstep ordinal for subgroup registry keys
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations
+
+template <typename T>
+void Communicator::send(std::span<const T> data, int to, int tag) {
+  auto& s = *shared_;
+  ZI_CHECK(to >= 0 && to < s.num_ranks && to != rank_);
+  detail::P2pChannel& ch = s.channel(rank_, to);
+  detail::P2pMessage msg;
+  msg.tag = tag;
+  msg.payload.resize(data.size_bytes());
+  std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.queue.push_back(std::move(msg));
+  }
+  ch.cv.notify_one();
+  s.traffic.p2p_bytes.fetch_add(data.size_bytes(), std::memory_order_relaxed);
+}
+
+template <typename T>
+void Communicator::recv(std::span<T> data, int from, int tag) {
+  auto& s = *shared_;
+  ZI_CHECK(from >= 0 && from < s.num_ranks && from != rank_);
+  detail::P2pChannel& ch = s.channel(from, rank_);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+  detail::P2pMessage msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  ZI_CHECK_MSG(msg.tag == tag, "p2p tag mismatch: expected "
+                                   << tag << ", got " << msg.tag
+                                   << " (per-channel FIFO ordering)");
+  ZI_CHECK_MSG(msg.payload.size() == data.size_bytes(),
+               "p2p size mismatch: sent " << msg.payload.size()
+                                          << " bytes, receiving "
+                                          << data.size_bytes());
+  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+}
+
+template <typename T>
+void Communicator::broadcast(std::span<T> data, int root) {
+  auto& s = *shared_;
+  ZI_CHECK(root >= 0 && root < s.num_ranks);
+  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
+  s.traffic.broadcast_bytes.fetch_add(data.size_bytes(),
+                                      std::memory_order_relaxed);
+  if (rank_ == root) {
+    s.src_ptrs[static_cast<std::size_t>(root)] = data.data();
+    s.counts[static_cast<std::size_t>(root)] = data.size();
+  }
+  s.sync.arrive_and_wait();  // publish root pointer
+  if (rank_ != root) {
+    const T* src =
+        static_cast<const T*>(s.src_ptrs[static_cast<std::size_t>(root)]);
+    ZI_CHECK_MSG(s.counts[static_cast<std::size_t>(root)] == data.size(),
+                 "broadcast size mismatch");
+    std::memcpy(data.data(), src, data.size_bytes());
+  }
+  s.sync.arrive_and_wait();  // root buffer safe to reuse
+}
+
+template <typename T>
+void Communicator::allgather(std::span<const T> send, std::span<T> recv) {
+  auto& s = *shared_;
+  const auto n = static_cast<std::size_t>(s.num_ranks);
+  ZI_CHECK_MSG(recv.size() == send.size() * n,
+               "allgather: recv " << recv.size() << " != send " << send.size()
+                                  << " * " << n);
+  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
+  s.traffic.allgather_bytes.fetch_add(send.size_bytes(),
+                                      std::memory_order_relaxed);
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
+  s.counts[static_cast<std::size_t>(rank_)] = send.size();
+  s.sync.arrive_and_wait();  // publish all pointers
+  for (std::size_t r = 0; r < n; ++r) {
+    ZI_CHECK_MSG(s.counts[r] == send.size(), "allgather: unequal send sizes");
+    const T* src = static_cast<const T*>(s.src_ptrs[r]);
+    std::memcpy(recv.data() + r * send.size(), src, send.size_bytes());
+  }
+  s.sync.arrive_and_wait();  // all reads done; send buffers reusable
+}
+
+template <typename T>
+void Communicator::reduce_scatter_sum(std::span<const T> send,
+                                      std::span<T> recv) {
+  auto& s = *shared_;
+  const auto n = static_cast<std::size_t>(s.num_ranks);
+  ZI_CHECK_MSG(send.size() == recv.size() * n,
+               "reduce_scatter: send " << send.size() << " != recv "
+                                       << recv.size() << " * " << n);
+  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
+  s.traffic.reduce_scatter_bytes.fetch_add(send.size_bytes(),
+                                           std::memory_order_relaxed);
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
+  s.sync.arrive_and_wait();
+  // Each rank reduces its own chunk: ascending rank order, fp32 accumulation.
+  const std::size_t chunk = recv.size();
+  const std::size_t base = static_cast<std::size_t>(rank_) * chunk;
+  for (std::size_t i = 0; i < chunk; ++i) {
+    float acc = 0.0f;
+    for (std::size_t r = 0; r < n; ++r) {
+      const T* src = static_cast<const T*>(s.src_ptrs[r]);
+      acc += load_as_float(src + base + i);
+    }
+    store_from_float(recv.data() + i, acc);
+  }
+  s.sync.arrive_and_wait();
+}
+
+template <typename T>
+void Communicator::allreduce_sum(std::span<T> data) {
+  auto& s = *shared_;
+  const auto n = static_cast<std::size_t>(s.num_ranks);
+  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
+  s.traffic.allreduce_bytes.fetch_add(data.size_bytes(),
+                                      std::memory_order_relaxed);
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = data.data();
+  s.counts[static_cast<std::size_t>(rank_)] = data.size();
+  s.sync.arrive_and_wait();
+  // Partition the index space; each rank reduces its slice into a private
+  // scratch, then writes back after a barrier (in-place allreduce).
+  const std::size_t total = data.size();
+  const std::size_t lo = total * static_cast<std::size_t>(rank_) / n;
+  const std::size_t hi = total * (static_cast<std::size_t>(rank_) + 1) / n;
+  std::vector<float> scratch(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    float acc = 0.0f;
+    for (std::size_t r = 0; r < n; ++r) {
+      ZI_CHECK(s.counts[r] == total);
+      const T* src = static_cast<const T*>(s.src_ptrs[r]);
+      acc += load_as_float(src + i);
+    }
+    scratch[i - lo] = acc;
+  }
+  s.sync.arrive_and_wait();  // all slices reduced before anyone overwrites
+  // Every rank writes its slice into every rank's buffer.
+  for (std::size_t r = 0; r < n; ++r) {
+    T* dst = static_cast<T*>(const_cast<void*>(s.src_ptrs[r]));
+    for (std::size_t i = lo; i < hi; ++i) {
+      store_from_float(dst + i, scratch[i - lo]);
+    }
+  }
+  s.sync.arrive_and_wait();
+}
+
+template <typename T>
+void Communicator::gather(std::span<const T> send, std::span<T> recv,
+                          int root) {
+  auto& s = *shared_;
+  const auto n = static_cast<std::size_t>(s.num_ranks);
+  ZI_CHECK(root >= 0 && root < s.num_ranks);
+  if (rank_ == root) {
+    ZI_CHECK_MSG(recv.size() == send.size() * n, "gather: recv size mismatch");
+  }
+  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
+  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
+  s.counts[static_cast<std::size_t>(rank_)] = send.size();
+  s.sync.arrive_and_wait();
+  if (rank_ == root) {
+    for (std::size_t r = 0; r < n; ++r) {
+      ZI_CHECK(s.counts[r] == send.size());
+      std::memcpy(recv.data() + r * send.size(), s.src_ptrs[r],
+                  send.size_bytes());
+    }
+  }
+  s.sync.arrive_and_wait();
+}
+
+}  // namespace zi

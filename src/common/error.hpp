@@ -1,0 +1,68 @@
+// Error handling primitives used throughout the library.
+//
+// Policy (following the C++ Core Guidelines): programming errors and violated
+// invariants throw zi::Error with enough context to debug; resource
+// exhaustion that the caller is expected to handle (e.g. a DeviceArena
+// running out of "GPU memory") throws a dedicated subclass so callers can
+// catch it specifically.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace zi {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an allocation cannot be satisfied by a capacity-limited
+/// device arena (the simulated analog of CUDA OOM). Scale experiments catch
+/// this to find the largest runnable configuration.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the I/O engine when a file operation fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ZI_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace zi
+
+/// Always-on invariant check. Unlike assert(), active in release builds:
+/// the training engine relies on these to fail loudly instead of corrupting
+/// partitioned state.
+#define ZI_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::zi::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");     \
+    }                                                                       \
+  } while (0)
+
+/// ZI_CHECK with a streamed message: ZI_CHECK_MSG(x > 0, "x=" << x).
+#define ZI_CHECK_MSG(cond, msg_stream)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream zi_check_os_;                                      \
+      zi_check_os_ << msg_stream;                                           \
+      ::zi::detail::throw_check_failure(#cond, __FILE__, __LINE__,          \
+                                        zi_check_os_.str());                \
+    }                                                                       \
+  } while (0)

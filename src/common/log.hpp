@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The library is multi-threaded (rank threads, I/O worker threads), so log
+// lines are assembled in a per-call buffer and emitted with a single write
+// under a mutex to avoid interleaving.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace zi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Tests lower it to kOff to keep output clean.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace zi
+
+#define ZI_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::zi::log_level())) { \
+  } else                                               \
+    ::zi::detail::LogLine(level)
+
+#define ZI_LOG_DEBUG ZI_LOG(::zi::LogLevel::kDebug)
+#define ZI_LOG_INFO ZI_LOG(::zi::LogLevel::kInfo)
+#define ZI_LOG_WARN ZI_LOG(::zi::LogLevel::kWarn)
+#define ZI_LOG_ERROR ZI_LOG(::zi::LogLevel::kError)

@@ -1,0 +1,49 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace zi {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Rng::at(std::uint64_t i) const noexcept {
+  // Chain two mixes so that nearby (stream, counter) pairs decorrelate.
+  return mix64(mix64(seed_ ^ mix64(stream_)) + i);
+}
+
+double Rng::next_uniform() noexcept { return uniform_at(counter_++); }
+
+double Rng::uniform_at(std::uint64_t i) const noexcept {
+  // Top 53 bits → double in [0, 1).
+  return static_cast<double>(at(i) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::next_normal() noexcept {
+  const float v = normal_at(counter_);
+  ++counter_;
+  return v;
+}
+
+float Rng::normal_at(std::uint64_t i) const noexcept {
+  // Dedicated sub-stream: fold a tag into the counter domain so normal and
+  // uniform draws at the same index do not collide.
+  const std::uint64_t base = 0x5DEECE66Dull + 2 * i;
+  double u1 = static_cast<double>(at(base) >> 11) * (1.0 / 9007199254740992.0);
+  const double u2 =
+      static_cast<double>(at(base + 1) >> 11) * (1.0 / 9007199254740992.0);
+  if (u1 <= 0.0) u1 = 1e-300;  // avoid log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * M_PI * u2));
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  // Modulo bias is negligible for n << 2^64 (largest n used here is ~1e9).
+  return n == 0 ? 0 : next_u64() % n;
+}
+
+}  // namespace zi

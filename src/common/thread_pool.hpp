@@ -1,0 +1,63 @@
+// Fixed-size worker thread pool.
+//
+// Used by the aio engine (I/O worker parallelization, Sec. 6.3 "aggressive
+// parallelization of I/O requests") and by the chunked optimizer step. Tasks
+// are type-erased closures; submit() returns a std::future for completion /
+// exception propagation, matching the "bulk read/write requests for
+// asynchronous completion, and explicit synchronization requests" design of
+// DeepNVMe.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zi {
+
+class ThreadPool {
+ public:
+  /// Start `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future carries the result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Enqueue fire-and-forget work (completion tracked by wait_idle()).
+  void enqueue(std::function<void()> fn);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+  /// Total tasks executed since construction (for engine statistics).
+  std::uint64_t tasks_completed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace zi

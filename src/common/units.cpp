@@ -1,0 +1,47 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace zi {
+
+namespace {
+std::string printf_str(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) return printf_str("%.2f %s", b / static_cast<double>(kTiB), "TiB");
+  if (bytes >= kGiB) return printf_str("%.2f %s", b / static_cast<double>(kGiB), "GiB");
+  if (bytes >= kMiB) return printf_str("%.2f %s", b / static_cast<double>(kMiB), "MiB");
+  if (bytes >= kKiB) return printf_str("%.2f %s", b / static_cast<double>(kKiB), "KiB");
+  return printf_str("%.0f %s", b, "B");
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  const double gb = 1e9;
+  if (bytes_per_sec >= gb) return printf_str("%.2f %s", bytes_per_sec / gb, "GB/s");
+  if (bytes_per_sec >= 1e6) return printf_str("%.2f %s", bytes_per_sec / 1e6, "MB/s");
+  if (bytes_per_sec >= 1e3) return printf_str("%.2f %s", bytes_per_sec / 1e3, "KB/s");
+  return printf_str("%.1f %s", bytes_per_sec, "B/s");
+}
+
+std::string format_count(double count) {
+  if (count >= 1e12) return printf_str("%.2f%s", count / 1e12, "T");
+  if (count >= 1e9) return printf_str("%.2f%s", count / 1e9, "B");
+  if (count >= 1e6) return printf_str("%.2f%s", count / 1e6, "M");
+  if (count >= 1e3) return printf_str("%.2f%s", count / 1e3, "K");
+  return printf_str("%.0f%s", count, "");
+}
+
+std::string format_duration(double seconds) {
+  if (seconds >= 1.0) return printf_str("%.3f %s", seconds, "s");
+  if (seconds >= 1e-3) return printf_str("%.3f %s", seconds * 1e3, "ms");
+  if (seconds >= 1e-6) return printf_str("%.1f %s", seconds * 1e6, "us");
+  return printf_str("%.1f %s", seconds * 1e9, "ns");
+}
+
+}  // namespace zi

@@ -1,0 +1,36 @@
+// Byte-size constants and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zi {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// "1.50 GiB", "512 B", ...
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 GB/s" from bytes-per-second.
+std::string format_bandwidth(double bytes_per_sec);
+
+/// "1.23 T", "456.0 B", "7.8 M" for parameter counts.
+std::string format_count(double count);
+
+/// "123.4 ms", "1.23 s", "45 us".
+std::string format_duration(double seconds);
+
+/// Round x up to the next multiple of align (align must be > 0).
+constexpr std::uint64_t align_up(std::uint64_t x, std::uint64_t align) {
+  return (x + align - 1) / align * align;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace zi

@@ -1,0 +1,100 @@
+#include "core/act_offload.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+// ---------------------------------------------------------------------------
+// CPU
+
+CpuActivationOffloader::CpuActivationOffloader(MemoryAccountant& accountant)
+    : accountant_(accountant) {}
+
+CpuActivationOffloader::~CpuActivationOffloader() {
+  for (const auto& [slot, t] : slots_) accountant_.sub(Tier::kCpu, t.nbytes());
+}
+
+void CpuActivationOffloader::save(int slot, const Tensor& t) {
+  discard(slot);
+  Tensor copy = t.clone();
+  accountant_.add(Tier::kCpu, copy.nbytes());
+  slots_.emplace(slot, std::move(copy));
+  ++saves_;
+}
+
+Tensor CpuActivationOffloader::load(int slot) {
+  auto it = slots_.find(slot);
+  ZI_CHECK_MSG(it != slots_.end(), "no checkpoint in slot " << slot);
+  return it->second.clone();
+}
+
+void CpuActivationOffloader::discard(int slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  accountant_.sub(Tier::kCpu, it->second.nbytes());
+  slots_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// NVMe
+
+NvmeActivationOffloader::NvmeActivationOffloader(RankResources& res)
+    : res_(res) {}
+
+NvmeActivationOffloader::~NvmeActivationOffloader() {
+  for (auto& [slot, s] : slots_) {
+    s.pending_write.wait();
+    res_.accountant().sub(Tier::kNvme, s.bytes);
+  }
+}
+
+void NvmeActivationOffloader::save(int slot, const Tensor& t) {
+  discard(slot);
+  Slot s;
+  s.shape = t.shape();
+  s.dtype = t.dtype();
+  s.bytes = t.nbytes();
+  s.extent = res_.nvme().allocate(s.bytes);
+
+  // Stage the bytes so the caller's tensor can die while the async write is
+  // still in flight; the write overlaps the wrapped block's forward pass.
+  std::span<const std::byte> src = t.raw();
+  std::span<std::byte> staged;
+  if (s.bytes <= res_.pinned().buffer_bytes()) {
+    if (auto lease = res_.pinned().try_acquire()) {
+      s.lease = std::move(*lease);
+      staged = {s.lease.data(), s.bytes};
+    }
+  }
+  if (staged.empty()) {
+    s.heap_staging.resize(s.bytes);
+    staged = s.heap_staging;
+  }
+  std::memcpy(staged.data(), src.data(), s.bytes);
+  s.pending_write = res_.nvme().write_async(s.extent, staged);
+  res_.accountant().add(Tier::kNvme, s.bytes);
+  slots_.emplace(slot, std::move(s));
+  ++saves_;
+}
+
+Tensor NvmeActivationOffloader::load(int slot) {
+  auto it = slots_.find(slot);
+  ZI_CHECK_MSG(it != slots_.end(), "no checkpoint in slot " << slot);
+  Slot& s = it->second;
+  s.pending_write.wait();  // the write must land before we read it back
+  Tensor t(s.shape, s.dtype);
+  res_.nvme().read(s.extent, t.raw());
+  return t;
+}
+
+void NvmeActivationOffloader::discard(int slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  it->second.pending_write.wait();
+  res_.accountant().sub(Tier::kNvme, it->second.bytes);
+  slots_.erase(it);
+}
+
+}  // namespace zi

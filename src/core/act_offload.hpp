@@ -1,0 +1,69 @@
+// Activation-checkpoint offloading (Sec. 5.1.2 / 5.2.3).
+//
+// Two ActivationOffloader implementations plug into CheckpointWrapper:
+//   * CpuActivationOffloader — checkpoints move to CPU memory. "each GPU
+//     can read and write data at about 3 GB/s to CPU memory in parallel
+//     over the PCIe allowing activation checkpoints to be offloaded".
+//   * NvmeActivationOffloader — checkpoints go to the rank's NVMe swap via
+//     the async engine. Writes are submitted asynchronously from a pinned
+//     staging buffer and overlap the forward compute of the wrapped block;
+//     the load in backward waits for completion first (the "effectively
+//     overlap the communication of activation checkpoints both to and from
+//     CPU memory with the forward and backward computation" design).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/rank_resources.hpp"
+#include "model/checkpoint.hpp"
+
+namespace zi {
+
+class CpuActivationOffloader : public ActivationOffloader {
+ public:
+  explicit CpuActivationOffloader(MemoryAccountant& accountant);
+  ~CpuActivationOffloader() override;
+
+  void save(int slot, const Tensor& t) override;
+  Tensor load(int slot) override;
+  void discard(int slot) override;
+
+  std::uint64_t saves() const noexcept { return saves_; }
+
+ private:
+  MemoryAccountant& accountant_;
+  std::unordered_map<int, Tensor> slots_;
+  std::uint64_t saves_ = 0;
+};
+
+class NvmeActivationOffloader : public ActivationOffloader {
+ public:
+  explicit NvmeActivationOffloader(RankResources& res);
+  ~NvmeActivationOffloader() override;
+
+  void save(int slot, const Tensor& t) override;
+  Tensor load(int slot) override;
+  void discard(int slot) override;
+
+  std::uint64_t saves() const noexcept { return saves_; }
+
+ private:
+  struct Slot {
+    Extent extent;
+    std::vector<std::int64_t> shape;
+    DType dtype = DType::kF32;
+    std::size_t bytes = 0;
+    AioStatus pending_write;
+    // Staging keeps the bytes alive while the async write is in flight;
+    // a pinned-pool lease when the checkpoint fits, heap otherwise.
+    PinnedLease lease;
+    std::vector<std::byte> heap_staging;
+  };
+
+  RankResources& res_;
+  std::unordered_map<int, Slot> slots_;
+  std::uint64_t saves_ = 0;
+};
+
+}  // namespace zi

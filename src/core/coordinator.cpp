@@ -1,0 +1,299 @@
+#include "core/coordinator.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "tensor/cast.hpp"
+
+namespace zi {
+
+ParamCoordinator::ParamCoordinator(ModelStateStore& store, RankResources& res,
+                                   Communicator& comm,
+                                   const EngineConfig& config)
+    : store_(store), res_(res), comm_(comm), config_(config) {
+  ZI_CHECK_MSG(config_.params_partitioned(),
+               "ParamCoordinator requires ZeRO stage 3");
+  for (Parameter* p : store_.params()) params_by_id_.emplace(p->id(), p);
+}
+
+ParamCoordinator::~ParamCoordinator() {
+  set_parameter_access_interceptor(nullptr, nullptr);
+  // An exception mid-iteration can leave prefetch reads in flight; their
+  // completion must land before the staging buffers are destroyed.
+  for (auto& [id, slot] : prefetch_) {
+    try {
+      slot.status.wait();
+    } catch (...) {
+      // The I/O error was already the failure being unwound; swallowing it
+      // here only keeps the destructor noexcept.
+    }
+  }
+}
+
+void ParamCoordinator::install(Module& root) {
+  Module::Hooks hooks;
+  hooks.pre_forward = [this](Module& m) { on_pre_forward(m); };
+  hooks.post_forward = [this](Module& m) { on_post_forward(m); };
+  hooks.pre_backward = [this](Module& m) { on_pre_backward(m); };
+  hooks.post_backward = [this](Module& m) { on_post_backward(m); };
+  root.install_hooks(hooks);
+  // Automatic external-parameter registration (Sec. 7.1.1): compute that
+  // touches an ungathered parameter lands here instead of failing.
+  set_parameter_access_interceptor(&ParamCoordinator::intercept_access, this);
+}
+
+void ParamCoordinator::intercept_access(void* ctx, Parameter* p) {
+  auto* self = static_cast<ParamCoordinator*>(ctx);
+  if (self->module_stack_.empty()) return;  // outside hook-driven compute
+  Module* current = self->module_stack_.back();
+  // Gather now (blocking; a collective — every rank executes the same
+  // deterministic access), and register on the consuming module so all
+  // future iterations gather/release it through the normal hooks.
+  self->fetch(p, self->in_backward_);
+  current->register_external_parameter(p);
+  ++self->stats_.auto_registrations;
+}
+
+void ParamCoordinator::begin_iteration() {
+  cursor_ = 0;
+  // The trace recorded last iteration becomes the prediction for this one.
+  if (recording_ && !trace_.empty()) recording_ = false;
+  drop_prefetches();
+}
+
+void ParamCoordinator::end_iteration() {
+  // Persistent parameters survived the per-module releases; the optimizer
+  // has just rewritten their shards, so the gathered fp32 copies are stale
+  // and must be re-partitioned before the next gather.
+  for (Parameter* p : store_.params()) {
+    if (p->status() == Parameter::Status::kAvailable) {
+      release(p, /*force=*/true);
+    }
+  }
+}
+
+void ParamCoordinator::set_eval_mode(bool eval) {
+  if (eval) drop_prefetches();
+  eval_mode_ = eval;
+}
+
+void ParamCoordinator::on_pre_forward(Module& m) {
+  module_stack_.push_back(&m);
+  in_backward_ = false;
+  for (Parameter* p : m.compute_parameters()) fetch(p, /*for_backward=*/false);
+}
+
+void ParamCoordinator::on_post_forward(Module& m) {
+  for (Parameter* p : m.compute_parameters()) release(p);
+  if (!module_stack_.empty() && module_stack_.back() == &m) {
+    module_stack_.pop_back();
+  }
+}
+
+void ParamCoordinator::on_pre_backward(Module& m) {
+  module_stack_.push_back(&m);
+  in_backward_ = true;
+  for (Parameter* p : m.compute_parameters()) fetch(p, /*for_backward=*/true);
+}
+
+void ParamCoordinator::on_post_backward(Module& m) {
+  // Gradients of owned parameters are final once the owner's backward ran
+  // (every consumer of an external parameter runs after the owner in the
+  // reverse topological order), so reduce them now. External parameters
+  // are merely released; their grad buffer survives until the owner.
+  for (const auto& p : m.own_parameters()) {
+    reduce_and_store_grad(p.get());
+    release(p.get());
+  }
+  for (Parameter* p : m.external_parameters()) release(p);
+  if (!module_stack_.empty() && module_stack_.back() == &m) {
+    module_stack_.pop_back();
+  }
+}
+
+void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
+  if (for_backward) ensure_grad_buffer(p);
+  if (p->status() == Parameter::Status::kAvailable) return;
+  ++stats_.fetches;
+  if (!eval_mode_) advance_trace(p->id());
+
+  // Materialize the full fp16 values: bandwidth-centric allgather (every
+  // rank's link carries 1/dp in parallel, Sec. 6.1) or the broadcast
+  // baseline (the owner's link carries everything — the ZeRO/ZeRO-Offload
+  // data path the paper contrasts against).
+  std::vector<half> padded;
+  if (store_.broadcast_mode()) {
+    padded.resize(static_cast<std::size_t>(p->numel()));
+    if (comm_.rank() == store_.param_owner(p)) {
+      auto it = prefetch_.find(p->id());
+      if (it != prefetch_.end()) {
+        it->second.status.wait();
+        std::copy(it->second.staging.begin(), it->second.staging.end(),
+                  padded.begin());
+        prefetch_.erase(it);
+        ++stats_.prefetch_hits;
+      } else {
+        store_.load_param_full(p, padded);
+      }
+    }
+    comm_.broadcast<half>(padded, store_.param_owner(p));
+    stats_.broadcast_fp16_elems += padded.size();
+  } else {
+    const ShardSpec& spec = store_.param_spec(p);
+    const auto shard_n = static_cast<std::size_t>(spec.shard_elems);
+    // 1. Local shard: use the prefetched copy if one is in flight (staged
+    //    in a pinned buffer), else load synchronously from the parameter's
+    //    tier (the nc-transfer).
+    std::vector<half> shard_heap;
+    std::span<const half> shard;
+    auto it = prefetch_.find(p->id());
+    if (it != prefetch_.end()) {
+      it->second.status.wait();
+      shard = it->second.staging;
+      ++stats_.prefetch_hits;
+    } else {
+      shard_heap.resize(shard_n);
+      store_.load_param_shard(p, shard_heap);
+      shard = shard_heap;
+    }
+    // 2. Allgather the padded fp16 parameter across ranks (the gg-transfer;
+    //    every rank moved only 1/dp of the data from slow memory).
+    padded.resize(static_cast<std::size_t>(spec.padded_numel()));
+    comm_.allgather<half>(shard, padded);
+    stats_.allgather_fp16_elems += shard_n;
+    if (it != prefetch_.end()) prefetch_.erase(it);  // release the lease
+  }
+
+  // 3. Materialize the fp32 compute tensor in GPU memory (the cg-transfer
+  //    plus cast). This is where "GPU" capacity pressure is enforced.
+  ArenaBlock block = res_.gpu().allocate(
+      static_cast<std::uint64_t>(p->numel()) * sizeof(float));
+  p->full_tensor() = Tensor::view(p->shape(), DType::kF32, block.data());
+  cast_f16_to_f32(std::span<const half>(padded.data(),
+                                        static_cast<std::size_t>(p->numel())),
+                  p->full_tensor().span<float>());
+  gathered_.emplace(p->id(), std::move(block));
+  p->set_status(Parameter::Status::kAvailable);
+  record((store_.broadcast_mode() ? "broadcast  " : "allgather  ") +
+         p->name() + "  <- " + tier_name(config_.param_placement) +
+         (for_backward ? "  (for backward)" : "  (for forward)"));
+
+  issue_prefetches();
+}
+
+void ParamCoordinator::release(Parameter* p, bool force) {
+  if (p->status() != Parameter::Status::kAvailable) return;
+  if (!force && p->numel() <= config_.persistence_threshold_elems) {
+    return;  // small parameter: stays gathered for the rest of the step
+  }
+  ++stats_.releases;
+  record("release    " + p->name());
+  p->full_tensor() = Tensor();
+  gathered_.erase(p->id());  // frees the arena block
+  p->set_status(Parameter::Status::kNotAvailable);
+}
+
+void ParamCoordinator::advance_trace(int param_id) {
+  if (recording_) {
+    trace_.push_back(param_id);
+  } else if (cursor_ >= trace_.size() ||
+             trace_[cursor_] != param_id) {
+    // Dynamic workflow: the operator sequence changed. Keep the verified
+    // prefix, re-record from here (Sec. 6.2: "ZeRO-Infinity can update the
+    // operator sequence map in case of dynamic workflow").
+    ++stats_.trace_invalidations;
+    trace_.resize(cursor_);
+    trace_.push_back(param_id);
+    recording_ = true;
+    drop_prefetches();
+  }
+  ++cursor_;
+}
+
+void ParamCoordinator::issue_prefetches() {
+  if (eval_mode_ || recording_ || !config_.overlap_transfers ||
+      config_.prefetch_depth <= 0) {
+    return;
+  }
+  const std::size_t end =
+      std::min(trace_.size(),
+               cursor_ + static_cast<std::size_t>(config_.prefetch_depth));
+  for (std::size_t i = cursor_; i < end; ++i) {
+    const int id = trace_[i];
+    if (prefetch_.contains(id)) continue;
+    Parameter* p = params_by_id_.at(id);
+    if (p->status() == Parameter::Status::kAvailable) continue;
+    if (store_.broadcast_mode() && store_.param_owner(p) != comm_.rank()) {
+      continue;  // only the owner has anything to pre-load
+    }
+    const std::size_t elems =
+        store_.broadcast_mode()
+            ? static_cast<std::size_t>(p->numel())
+            : static_cast<std::size_t>(store_.param_spec(p).shard_elems);
+    PrefetchSlot slot;
+    // Stage into a pinned buffer when one fits and is free; heap otherwise.
+    if (elems * sizeof(half) <= res_.pinned().buffer_bytes()) {
+      if (auto lease = res_.pinned().try_acquire()) {
+        slot.lease = std::move(*lease);
+        slot.staging = {reinterpret_cast<half*>(slot.lease.data()), elems};
+      }
+    }
+    if (slot.staging.empty()) {
+      slot.heap.resize(elems);
+      slot.staging = slot.heap;
+    }
+    slot.status = store_.broadcast_mode()
+                      ? store_.load_param_full_async(p, slot.staging)
+                      : store_.load_param_shard_async(p, slot.staging);
+    record("prefetch   " + p->name() + "  (async, " +
+           (slot.heap.empty() ? "pinned buffer" : "heap staging") + ")");
+    prefetch_.emplace(id, std::move(slot));
+    ++stats_.prefetches_issued;
+  }
+}
+
+void ParamCoordinator::drop_prefetches() {
+  for (auto& [id, slot] : prefetch_) slot.status.wait();
+  prefetch_.clear();
+}
+
+void ParamCoordinator::ensure_grad_buffer(Parameter* p) {
+  if (p->grad_tensor().defined()) return;
+  ArenaBlock block = res_.gpu().allocate(
+      static_cast<std::uint64_t>(p->numel()) * sizeof(float));
+  std::memset(block.data(), 0,
+              static_cast<std::size_t>(p->numel()) * sizeof(float));
+  p->grad_tensor() = Tensor::view(p->shape(), DType::kF32, block.data());
+  grad_blocks_.emplace(p->id(), std::move(block));
+}
+
+void ParamCoordinator::reduce_and_store_grad(Parameter* p) {
+  ZI_CHECK_MSG(p->grad_tensor().defined(),
+               "no gradient accumulated for " << p->name());
+  const ShardSpec& spec = store_.param_spec(p);
+
+  // fp32 accumulation happened in the grad buffer; storage/transit is fp16
+  // (the mixed-precision recipe). Pad to the shard grid, reduce-scatter.
+  std::vector<half> padded(static_cast<std::size_t>(spec.padded_numel()),
+                           half(0.0f));
+  cast_f32_to_f16(p->grad_tensor().span<float>(),
+                  std::span<half>(padded.data(),
+                                  static_cast<std::size_t>(p->numel())));
+  std::vector<half> shard(static_cast<std::size_t>(spec.shard_elems));
+  comm_.reduce_scatter_sum<half>(padded, shard);
+  stats_.reduce_scatter_fp16_elems += padded.size();
+
+  if (accumulate_grads_) {
+    store_.accumulate_grad_shard(p, shard);
+  } else {
+    store_.store_grad_shard(p, shard);
+  }
+  record("reducescat " + p->name() + "  -> grad shard on " +
+         tier_name(config_.grad_placement));
+  ++stats_.grads_reduced;
+
+  p->grad_tensor() = Tensor();
+  grad_blocks_.erase(p->id());
+}
+
+}  // namespace zi

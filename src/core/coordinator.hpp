@@ -1,0 +1,156 @@
+// ParamCoordinator — automated data movement for partitioned parameters
+// (Sec. 7.1) with the overlap-centric dynamic prefetcher (Sec. 6.2).
+//
+// Installed as module hooks on the model tree:
+//   * pre-forward / pre-backward: gather the module's parameters — load the
+//     local fp16 shard from its tier (GPU/CPU/NVMe), allgather across
+//     ranks, and materialize the full fp32 compute tensor in the rank's
+//     GPU arena. Before backward it also allocates the full fp32 gradient
+//     buffer in the arena.
+//   * post-forward: re-partition (free the full tensor; the shard stays on
+//     its tier untouched).
+//   * post-backward: reduce-scatter the gradient into this rank's fp16
+//     gradient shard, store it on the gradient tier, and free both the
+//     gradient buffer and the full parameter.
+//
+// The prefetcher "traces the forward and backward computation on the fly,
+// constructing an internal map of the operator sequence for each
+// iteration" (Sec. 6.2): the first iteration records fetch order; later
+// iterations issue asynchronous shard loads `prefetch_depth` fetches ahead
+// (genuinely asynchronous when shards live on NVMe). If the observed
+// sequence diverges (dynamic control flow), the stale suffix is discarded
+// and re-recorded.
+//
+// External parameters (Sec. 7.1.1): a module may compute with parameters it
+// does not own (tied embeddings). They are gathered like any other, but
+// their gradient is reduced only at the *owner's* post-backward, after all
+// consumers have accumulated into it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/state_store.hpp"
+#include "core/zero_config.hpp"
+#include "model/module.hpp"
+
+namespace zi {
+
+class ParamCoordinator {
+ public:
+  struct Stats {
+    std::uint64_t fetches = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t prefetch_hits = 0;
+    std::uint64_t trace_invalidations = 0;
+    std::uint64_t auto_registrations = 0;  ///< Sec. 7.1.1 interceptions
+    std::uint64_t grads_reduced = 0;
+    std::uint64_t allgather_fp16_elems = 0;
+    std::uint64_t broadcast_fp16_elems = 0;  ///< broadcast-baseline traffic
+    std::uint64_t reduce_scatter_fp16_elems = 0;
+  };
+
+  ParamCoordinator(ModelStateStore& store, RankResources& res,
+                   Communicator& comm, const EngineConfig& config);
+  /// Blocks on any in-flight prefetch I/O: the staging buffers it owns
+  /// must not be freed under an active async read.
+  ~ParamCoordinator();
+
+  /// Install the fetch/release/reduce hooks on `root` and all descendants.
+  void install(Module& root);
+
+  /// Call at the top of every training iteration: rotates the recorded
+  /// trace into active use and resets the cursor.
+  void begin_iteration();
+
+  /// End-of-step cleanup: force-releases persistent parameters (their
+  /// shards were just updated by the optimizer, so the gathered copies are
+  /// stale) and re-enables training-trace bookkeeping after eval.
+  void end_iteration();
+
+  /// Enter/leave evaluation mode: parameters are still gathered/released
+  /// by the hooks, but the operator-sequence trace is neither recorded nor
+  /// advanced (a forward-only pass must not invalidate the training trace).
+  void set_eval_mode(bool eval);
+
+  /// Accumulation mode: gradient reduce-scatter results ADD into the
+  /// stored gradient shards instead of overwriting them (gradient
+  /// accumulation across micro-batches).
+  void set_grad_accumulation(bool accumulate) { accumulate_grads_ = accumulate; }
+
+  /// Gather one parameter now (public for tests and for eager warm-up).
+  void fetch(Parameter* p, bool for_backward);
+  /// Re-partition one parameter (frees its full tensor). Parameters under
+  /// the persistence threshold are kept gathered unless `force` is set.
+  void release(Parameter* p, bool force = false);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Install an observer for data-movement events ("gather", "release",
+  /// "reduce-scatter", "prefetch") — used to render the Fig. 4 trace from
+  /// a live run. Pass nullptr to disable.
+  void set_event_recorder(std::function<void(const std::string&)> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
+ private:
+  void record(const std::string& event) {
+    if (recorder_) recorder_(event);
+  }
+
+  void on_pre_forward(Module& m);
+  void on_post_forward(Module& m);
+  void on_pre_backward(Module& m);
+  void on_post_backward(Module& m);
+
+  static void intercept_access(void* ctx, Parameter* p);
+  void advance_trace(int param_id);
+  void issue_prefetches();
+  void drop_prefetches();
+  void ensure_grad_buffer(Parameter* p);
+  void reduce_and_store_grad(Parameter* p);
+
+  ModelStateStore& store_;
+  RankResources& res_;
+  Communicator& comm_;
+  EngineConfig config_;
+  std::unordered_map<int, Parameter*> params_by_id_;
+
+  // Operator-sequence trace (param ids in fetch order).
+  std::vector<int> trace_;
+  std::size_t cursor_ = 0;
+  bool recording_ = true;
+  bool eval_mode_ = false;
+  bool accumulate_grads_ = false;
+
+  // Prefetch staging prefers a lease from the pinned-buffer pool (the
+  // infinity offload engine reads into pinned memory, Sec. 6.3); falls
+  // back to heap when the pool is exhausted or the shard is too large.
+  struct PrefetchSlot {
+    PinnedLease lease;
+    std::vector<half> heap;
+    AioStatus status;
+    std::span<half> staging;  // into lease or heap
+  };
+  std::unordered_map<int, PrefetchSlot> prefetch_;
+
+  // Arena blocks backing gathered fp32 params / fp32 grad buffers.
+  std::unordered_map<int, ArenaBlock> gathered_;
+  std::unordered_map<int, ArenaBlock> grad_blocks_;
+
+  // Execution context for the access interceptor: the stack of modules
+  // whose forward/backward is currently running, and whether we are in the
+  // backward phase (an intercepted access then also needs a grad buffer).
+  std::vector<Module*> module_stack_;
+  bool in_backward_ = false;
+
+  Stats stats_;
+  std::function<void(const std::string&)> recorder_;
+};
+
+}  // namespace zi

@@ -1,0 +1,81 @@
+// MegatronEngine — the tensor-parallel × data-parallel baseline system
+// (the paper's "3D parallelism" contender, minus the pipeline dimension).
+//
+// Exists so the comparison figures have a REAL baseline, and so the
+// ease-of-use contrast is concrete: this engine requires the model to be
+// rewritten with tensor-parallel layers (TpGpt) and a process grid to be
+// constructed, whereas ZeroEngine trains the unmodified single-device
+// model. Model states are replicated across the data-parallel dimension
+// (no ZeRO partitioning) and sliced 1/tp by tensor parallelism — which is
+// why its max model size is bounded by GPU memory (Figs. 1/6a).
+#pragma once
+
+#include <memory>
+
+#include "comm/world.hpp"
+#include "core/zero_config.hpp"
+#include "mem/arena.hpp"
+#include "model/local_store.hpp"
+#include "model/trainable.hpp"
+#include "optim/adam.hpp"
+#include "optim/loss_scaler.hpp"
+
+namespace zi {
+
+struct MegatronConfig {
+  int tp = 2;  ///< tensor-parallel degree (must divide the world size)
+  AdamConfig adam;
+  DynamicLossScaler::Config loss_scale;
+  /// Simulated per-GPU memory; the replicated local model states are
+  /// reserved from it, so capacity pressure is enforced like in ZeroEngine.
+  std::uint64_t gpu_arena_bytes = 256 * kMiB;
+};
+
+class MegatronEngine {
+ public:
+  /// The process grid: tp is the fast axis (ranks [k·tp, (k+1)·tp) form
+  /// one model replica), dp connects equal tp-positions across replicas.
+  struct Grid {
+    Communicator tp;
+    Communicator dp;
+  };
+  static Grid make_grid(Communicator& world, int tp);
+
+  struct StepStats {
+    float local_loss = 0.0f;
+    float global_loss = 0.0f;
+    bool skipped = false;
+    float loss_scale = 0.0f;
+  };
+
+  /// `model` must be built against grid.tp (e.g. TpGpt). All tp ranks of a
+  /// replica must be fed the SAME micro-batch; different replicas (dp
+  /// ranks) get different ones.
+  MegatronEngine(TrainableModel& model, Communicator& world, Grid grid,
+                 MegatronConfig config);
+
+  StepStats train_step(std::span<const std::int32_t> tokens,
+                       std::span<const std::int32_t> targets);
+
+  /// Local (per-GPU) parameter count — 1/tp of the big operators.
+  std::int64_t local_numel() const { return local_store_->total_numel(); }
+  DeviceArena& gpu() noexcept { return *gpu_; }
+
+ private:
+  TrainableModel& model_;
+  Communicator& world_;
+  Grid grid_;
+  MegatronConfig config_;
+  std::unique_ptr<DeviceArena> gpu_;
+  ArenaBlock reservation_;
+  std::unique_ptr<LocalParamStore> local_store_;
+  // Persistent fp32 master weights + optimizer state (the fp16 params are
+  // derived from the master each step, never the other way around).
+  std::vector<std::vector<float>> master_;
+  std::vector<std::vector<float>> momentum_;
+  std::vector<std::vector<float>> variance_;
+  DynamicLossScaler scaler_;
+  std::int64_t opt_step_ = 0;
+};
+
+}  // namespace zi

@@ -1,0 +1,71 @@
+// OptimizerDriver — the partitioned, placement-aware optimizer step
+// (Sec. 5.2.2 "Efficiency w.r.t Optimizer States").
+//
+// Each rank updates only the optimizer-state shard it owns. Placement:
+//   * GPU / CPU tier: state tensors are directly addressable; one fused
+//     Adam pass per parameter shard.
+//   * NVMe tier: state is brought "from NVMe to CPU memory and back in
+//     chunks that can fit in the CPU memory ... one chunk at a time", with
+//     a software pipeline that overlaps the next chunk's reads with the
+//     current chunk's compute and the previous chunk's write-back — the
+//     read/compute/write overlap the infinity offload engine provides.
+//
+// The driver also owns overflow detection (scanning fp16 gradient shards)
+// and the global gradient-norm contribution for clipping.
+#pragma once
+
+#include <functional>
+
+#include "comm/world.hpp"
+#include "core/state_store.hpp"
+#include "core/zero_config.hpp"
+
+namespace zi {
+
+class OptimizerDriver {
+ public:
+  struct Stats {
+    std::uint64_t steps = 0;
+    std::uint64_t chunks_pipelined = 0;  ///< NVMe chunks processed
+    std::uint64_t direct_params = 0;     ///< shards updated in-place
+  };
+
+  /// Invoked with each parameter's updated fp16 shard (stages 0-2 use this
+  /// to rebuild the replicated parameters).
+  using UpdatedFp16Fn =
+      std::function<void(Parameter*, std::span<const half>)>;
+
+  OptimizerDriver(ModelStateStore& store, RankResources& res,
+                  Communicator& comm, const EngineConfig& config);
+
+  /// True if any gradient shard on this rank contains Inf/NaN (local —
+  /// the engine ORs across ranks).
+  bool local_overflow() const;
+
+  /// Sum over this rank's shards of (grad / grad_scale)^2.
+  double local_grad_sqnorm(float grad_scale) const;
+
+  /// Run Adam over every shard. `write_param_shards` stores updated fp16
+  /// back into the partitioned parameter store (stage 3); `on_updated` (if
+  /// set) receives each updated fp16 shard (stages 0-2).
+  void step(std::int64_t step_num, float grad_scale, float clip_coef,
+            bool write_param_shards, const UpdatedFp16Fn& on_updated);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void step_direct(Parameter* p, std::int64_t step_num, float grad_scale,
+                   float clip_coef, bool write_param_shards,
+                   const UpdatedFp16Fn& on_updated);
+  void step_chunked_nvme(Parameter* p, std::int64_t step_num,
+                         float grad_scale, float clip_coef,
+                         bool write_param_shards);
+
+  ModelStateStore& store_;
+  RankResources& res_;
+  Communicator& comm_;
+  const EngineConfig& config_;  // reference: LR schedule updates propagate
+  Stats stats_;
+};
+
+}  // namespace zi

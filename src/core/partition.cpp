@@ -1,0 +1,45 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace zi {
+
+ShardSpec make_shard_spec(std::int64_t numel, int world) {
+  ZI_CHECK(numel > 0 && world > 0);
+  ShardSpec spec;
+  spec.numel = numel;
+  spec.world = world;
+  spec.shard_elems = static_cast<std::int64_t>(
+      ceil_div(static_cast<std::uint64_t>(numel),
+               static_cast<std::uint64_t>(world)));
+  return spec;
+}
+
+void init_shard_fp16(const Parameter& p, const ShardSpec& spec, int rank,
+                     std::span<half> shard) {
+  ZI_CHECK(static_cast<std::int64_t>(shard.size()) == spec.shard_elems);
+  const std::int64_t base = spec.begin(rank);
+  const std::int64_t valid = spec.valid_elems(rank);
+  for (std::int64_t i = 0; i < valid; ++i) {
+    shard[static_cast<std::size_t>(i)] = half(p.init_value(base + i));
+  }
+  // Tail padding is zero so padded gathers and reductions stay benign.
+  for (std::int64_t i = valid; i < spec.shard_elems; ++i) {
+    shard[static_cast<std::size_t>(i)] = half(0.0f);
+  }
+}
+
+void extract_shard_fp16(std::span<const half> full_padded,
+                        const ShardSpec& spec, int rank,
+                        std::span<half> shard) {
+  ZI_CHECK(static_cast<std::int64_t>(full_padded.size()) ==
+           spec.padded_numel());
+  ZI_CHECK(static_cast<std::int64_t>(shard.size()) == spec.shard_elems);
+  std::copy_n(full_padded.begin() + spec.begin(rank), spec.shard_elems,
+              shard.begin());
+}
+
+}  // namespace zi

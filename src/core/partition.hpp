@@ -1,0 +1,55 @@
+// Bandwidth-centric flat partitioning (Sec. 6.1).
+//
+// "Unlike ZeRO and ZeRO-Offload, where parameters of each layer are owned
+// by a single data parallel process ... ZeRO-Infinity partitions individual
+// parameters across all the data parallel processes, and uses an allgather
+// instead of a broadcast when a parameter needs to be accessed."
+//
+// Every parameter is flattened and split into `world` equal shards (padded
+// at the tail). Rank r persists shard r; a gather is one equal-sized
+// allgather in which every rank's PCIe/NVMe link moves 1/dp of the data —
+// the property that makes heterogeneous bandwidth scale with dp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/half.hpp"
+#include "model/parameter.hpp"
+
+namespace zi {
+
+struct ShardSpec {
+  std::int64_t numel;        ///< true element count of the parameter
+  std::int64_t shard_elems;  ///< elements per rank (padded)
+  int world;
+
+  /// Padded full size (= shard_elems * world >= numel).
+  std::int64_t padded_numel() const { return shard_elems * world; }
+  /// First element index of rank r's shard.
+  std::int64_t begin(int rank) const {
+    return static_cast<std::int64_t>(rank) * shard_elems;
+  }
+  /// Number of *real* (non-padding) elements in rank r's shard.
+  std::int64_t valid_elems(int rank) const {
+    const std::int64_t b = begin(rank);
+    if (b >= numel) return 0;
+    return std::min(shard_elems, numel - b);
+  }
+};
+
+/// Shard layout for a parameter of `numel` elements over `world` ranks.
+ShardSpec make_shard_spec(std::int64_t numel, int world);
+
+/// Materialize rank `rank`'s fp16 shard of `p` directly from the
+/// deterministic init function — the full tensor is never built on any
+/// rank. This is the partitioned-initialization mechanism of Sec. 7.2.
+void init_shard_fp16(const Parameter& p, const ShardSpec& spec, int rank,
+                     std::span<half> shard);
+
+/// Copy rank `rank`'s slice out of a padded full fp16 buffer.
+void extract_shard_fp16(std::span<const half> full_padded,
+                        const ShardSpec& spec, int rank,
+                        std::span<half> shard);
+
+}  // namespace zi

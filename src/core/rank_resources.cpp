@@ -1,0 +1,24 @@
+#include "core/rank_resources.hpp"
+
+namespace zi {
+
+RankResources::RankResources(int rank, AioEngine& aio,
+                             std::uint64_t gpu_arena_bytes,
+                             std::uint64_t nvme_capacity,
+                             const std::filesystem::path& nvme_dir,
+                             std::size_t pinned_buffer_bytes,
+                             std::size_t pinned_buffer_count,
+                             DeviceArena::Mode arena_mode,
+                             std::uint64_t gpu_prefragment_chunk)
+    : rank_(rank), aio_(aio) {
+  gpu_ = std::make_unique<DeviceArena>("gpu[" + std::to_string(rank) + "]",
+                                       gpu_arena_bytes, arena_mode);
+  if (gpu_prefragment_chunk != 0) gpu_->prefragment(gpu_prefragment_chunk);
+  nvme_ = std::make_unique<NvmeStore>(
+      aio_, nvme_dir / ("zi_swap_rank" + std::to_string(rank) + ".bin"),
+      nvme_capacity);
+  pinned_ = std::make_unique<PinnedBufferPool>(pinned_buffer_bytes,
+                                               pinned_buffer_count);
+}
+
+}  // namespace zi

@@ -1,0 +1,53 @@
+// RankResources — the heterogeneous memory hierarchy visible to one rank.
+//
+// Every rank ("GPU") owns:
+//   * a capacity-limited DeviceArena standing in for HBM,
+//   * an NvmeStore (its slice of the node's NVMe, accessed through the
+//     shared AioEngine — all ranks' swap files share the engine's worker
+//     pool, which is how the aggregate-PCIe/NVMe parallelism of
+//     bandwidth-centric partitioning materializes),
+//   * a PinnedBufferPool for staging transfers (Sec. 6.3), and
+//   * a MemoryAccountant tracking bytes per tier.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "aio/aio_engine.hpp"
+#include "aio/nvme_store.hpp"
+#include "mem/accountant.hpp"
+#include "mem/arena.hpp"
+#include "mem/pinned_pool.hpp"
+
+namespace zi {
+
+class RankResources {
+ public:
+  /// `nvme_dir` must exist; the swap file is created inside it.
+  RankResources(int rank, AioEngine& aio, std::uint64_t gpu_arena_bytes,
+                std::uint64_t nvme_capacity,
+                const std::filesystem::path& nvme_dir,
+                std::size_t pinned_buffer_bytes,
+                std::size_t pinned_buffer_count,
+                DeviceArena::Mode arena_mode = DeviceArena::Mode::kReal,
+                std::uint64_t gpu_prefragment_chunk = 0);
+
+  int rank() const noexcept { return rank_; }
+  DeviceArena& gpu() noexcept { return *gpu_; }
+  NvmeStore& nvme() noexcept { return *nvme_; }
+  PinnedBufferPool& pinned() noexcept { return *pinned_; }
+  MemoryAccountant& accountant() noexcept { return accountant_; }
+  const MemoryAccountant& accountant() const noexcept { return accountant_; }
+  AioEngine& aio() noexcept { return aio_; }
+
+ private:
+  int rank_;
+  AioEngine& aio_;
+  std::unique_ptr<DeviceArena> gpu_;
+  std::unique_ptr<NvmeStore> nvme_;
+  std::unique_ptr<PinnedBufferPool> pinned_;
+  MemoryAccountant accountant_;
+};
+
+}  // namespace zi

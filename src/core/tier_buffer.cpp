@@ -1,0 +1,75 @@
+#include "core/tier_buffer.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+TierBuffer::TierBuffer(RankResources& res, Tier tier, std::uint64_t bytes)
+    : res_(&res), tier_(tier), bytes_(bytes) {
+  ZI_CHECK(bytes > 0);
+  switch (tier_) {
+    case Tier::kGpu:
+      gpu_block_ = res.gpu().allocate(bytes);
+      break;
+    case Tier::kCpu:
+      cpu_.resize(bytes);
+      break;
+    case Tier::kNvme:
+      extent_ = res.nvme().allocate(bytes);
+      break;
+  }
+  res_->accountant().add(tier_, bytes_);
+}
+
+TierBuffer::~TierBuffer() {
+  if (res_ != nullptr) res_->accountant().sub(tier_, bytes_);
+}
+
+std::byte* TierBuffer::data() noexcept {
+  switch (tier_) {
+    case Tier::kGpu: return gpu_block_.data();
+    case Tier::kCpu: return cpu_.data();
+    case Tier::kNvme: return nullptr;
+  }
+  return nullptr;
+}
+
+const std::byte* TierBuffer::data() const noexcept {
+  return const_cast<TierBuffer*>(this)->data();
+}
+
+void TierBuffer::store(std::span<const std::byte> src, std::uint64_t offset) {
+  store_async(src, offset).wait();
+}
+
+void TierBuffer::load(std::span<std::byte> dst, std::uint64_t offset) const {
+  load_async(dst, offset).wait();
+}
+
+AioStatus TierBuffer::store_async(std::span<const std::byte> src,
+                                  std::uint64_t offset) {
+  ZI_CHECK_MSG(offset + src.size() <= bytes_,
+               "store of " << src.size() << " at offset " << offset
+                           << " into buffer of " << bytes_);
+  if (tier_ == Tier::kNvme) {
+    return res_->nvme().write_async(extent_, src, offset);
+  }
+  std::memcpy(data() + offset, src.data(), src.size());
+  return AioStatus();  // trivially complete
+}
+
+AioStatus TierBuffer::load_async(std::span<std::byte> dst,
+                                 std::uint64_t offset) const {
+  ZI_CHECK_MSG(offset + dst.size() <= bytes_,
+               "load of " << dst.size() << " at offset " << offset
+                          << " from buffer of " << bytes_);
+  if (tier_ == Tier::kNvme) {
+    return res_->nvme().read_async(extent_, dst, offset);
+  }
+  std::memcpy(dst.data() + 0, data() + offset, dst.size());
+  return AioStatus();
+}
+
+}  // namespace zi

@@ -1,0 +1,67 @@
+// TierBuffer — a fixed-size byte buffer resident on one memory tier.
+//
+// The unit of storage the infinity offload engine moves around. GPU-tier
+// buffers live in the rank's DeviceArena (so capacity pressure is real);
+// CPU-tier buffers are host heap; NVMe-tier buffers are extents in the
+// rank's swap file, transferred through the async engine via the pinned
+// buffer pool. load/store have async variants that are genuinely
+// asynchronous on the NVMe tier — this is what the prefetcher and the
+// chunked optimizer pipeline overlap against compute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aio/nvme_store.hpp"
+#include "core/rank_resources.hpp"
+
+namespace zi {
+
+class TierBuffer {
+ public:
+  TierBuffer(RankResources& res, Tier tier, std::uint64_t bytes);
+  ~TierBuffer();
+
+  TierBuffer(TierBuffer&& o) noexcept
+      : res_(o.res_),
+        tier_(o.tier_),
+        bytes_(o.bytes_),
+        gpu_block_(std::move(o.gpu_block_)),
+        cpu_(std::move(o.cpu_)),
+        extent_(std::move(o.extent_)) {
+    o.res_ = nullptr;  // moved-from buffer no longer owns the accounting
+  }
+  TierBuffer& operator=(TierBuffer&&) = delete;
+  TierBuffer(const TierBuffer&) = delete;
+  TierBuffer& operator=(const TierBuffer&) = delete;
+
+  Tier tier() const noexcept { return tier_; }
+  std::uint64_t size() const noexcept { return bytes_; }
+
+  /// Direct pointer for in-place access; nullptr on the NVMe tier.
+  std::byte* data() noexcept;
+  const std::byte* data() const noexcept;
+
+  /// Copy `src` into the buffer at byte `offset`.
+  void store(std::span<const std::byte> src, std::uint64_t offset = 0);
+  /// Copy dst.size() bytes out of the buffer starting at `offset`.
+  void load(std::span<std::byte> dst, std::uint64_t offset = 0) const;
+
+  /// Async variants: complete immediately for GPU/CPU tiers, return a real
+  /// in-flight status for NVMe. The caller's span must outlive the status.
+  AioStatus store_async(std::span<const std::byte> src,
+                        std::uint64_t offset = 0);
+  AioStatus load_async(std::span<std::byte> dst,
+                       std::uint64_t offset = 0) const;
+
+ private:
+  RankResources* res_;
+  Tier tier_;
+  std::uint64_t bytes_;
+  ArenaBlock gpu_block_;          // kGpu
+  std::vector<std::byte> cpu_;    // kCpu
+  Extent extent_;                 // kNvme
+};
+
+}  // namespace zi

@@ -1,0 +1,113 @@
+#include "core/tiling.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace zi {
+
+TiledLinear::TiledLinear(std::string name, std::int64_t in_features,
+                         std::int64_t out_features, int tiles, bool bias)
+    : Module(std::move(name)), in_(in_features), out_(out_features) {
+  ZI_CHECK_MSG(tiles >= 1 && tiles <= out_features,
+               "bad tiling factor " << tiles << " for out=" << out_features);
+  tiles_.reserve(static_cast<std::size_t>(tiles));
+  for (int t = 0; t < tiles; ++t) {
+    const auto [lo, hi] = std::pair{out_ * t / tiles, out_ * (t + 1) / tiles};
+    tiles_.push_back(std::make_unique<Linear>(
+        this->name() + ".tile" + std::to_string(t), in_, hi - lo, bias));
+    register_child(tiles_.back().get());
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> TiledLinear::tile_range(int t) const {
+  const auto n = static_cast<std::int64_t>(tiles_.size());
+  return {out_ * t / n, out_ * (t + 1) / n};
+}
+
+Tensor TiledLinear::forward(const Tensor& input) {
+  const std::int64_t tokens = input.dim(0);
+  Tensor out({tokens, out_}, DType::kF32);
+  float* out_p = out.data<float>();
+  for (int t = 0; t < tiles(); ++t) {
+    // Each tile's run_forward fires its own hooks: fetch tile, compute,
+    // release tile — working memory is one tile, not the whole operator.
+    Tensor part = tiles_[static_cast<std::size_t>(t)]->run_forward(input);
+    const auto [lo, hi] = tile_range(t);
+    const float* part_p = part.data<float>();
+    for (std::int64_t r = 0; r < tokens; ++r) {
+      std::memcpy(out_p + r * out_ + lo, part_p + r * (hi - lo),
+                  static_cast<std::size_t>(hi - lo) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+Tensor TiledLinear::backward(const Tensor& grad_output) {
+  const std::int64_t tokens = grad_output.dim(0);
+  ZI_CHECK(grad_output.dim(1) == out_);
+  Tensor grad_in({tokens, in_}, DType::kF32);  // zero-initialized
+  float* gin = grad_in.data<float>();
+  const float* gout = grad_output.data<float>();
+  for (int t = tiles() - 1; t >= 0; --t) {
+    const auto [lo, hi] = tile_range(t);
+    Tensor part({tokens, hi - lo}, DType::kF32);
+    float* part_p = part.data<float>();
+    for (std::int64_t r = 0; r < tokens; ++r) {
+      std::memcpy(part_p + r * (hi - lo), gout + r * out_ + lo,
+                  static_cast<std::size_t>(hi - lo) * sizeof(float));
+    }
+    Tensor dx = tiles_[static_cast<std::size_t>(t)]->run_backward(part);
+    const float* dx_p = dx.data<float>();
+    for (std::int64_t i = 0; i < dx.numel(); ++i) gin[i] += dx_p[i];
+  }
+  return grad_in;
+}
+
+Mlp::LinearFactory TiledLinear::factory(int tiling_factor) {
+  ZI_CHECK(tiling_factor >= 1);
+  return [tiling_factor](std::string name, std::int64_t in,
+                         std::int64_t out) -> std::unique_ptr<Module> {
+    if (tiling_factor == 1) {
+      return std::make_unique<Linear>(std::move(name), in, out);
+    }
+    return std::make_unique<TiledLinear>(std::move(name), in, out,
+                                         tiling_factor);
+  };
+}
+
+bool mswm_fits(DeviceArena& arena, std::int64_t hidden, int tiles) {
+  // The largest operator: hd → 4hd. Its model-state working memory is
+  // Eq. 4: 4 * hd * 4hd bytes (fp16 parameters + fp16 gradients), and
+  // Sec. 3 notes it "requir[es] multiple gigabytes in contiguous memory" —
+  // so each tile's MSWM is requested as one contiguous allocation, held
+  // while the tile executes and released before the next tile (the ZeRO-3
+  // fetch/release pattern).
+  const std::int64_t out = 4 * hidden;
+  try {
+    for (int t = 0; t < tiles; ++t) {
+      const std::int64_t lo = out * t / tiles;
+      const std::int64_t hi = out * (t + 1) / tiles;
+      const std::uint64_t mswm_bytes =
+          2 * static_cast<std::uint64_t>(hidden) *
+          static_cast<std::uint64_t>(hi - lo) * sizeof(half);
+      ArenaBlock working = arena.allocate(mswm_bytes);
+      // Released at scope exit: the next tile reuses the space.
+    }
+  } catch (const OutOfMemoryError&) {
+    return false;
+  }
+  return true;
+}
+
+std::int64_t max_hidden_with_tiling(
+    DeviceArena& arena, int tiles, const std::vector<std::int64_t>& candidates) {
+  std::int64_t best = 0;
+  for (const std::int64_t hd : candidates) {
+    if (mswm_fits(arena, hd, tiles)) best = std::max(best, hd);
+  }
+  return best;
+}
+
+}  // namespace zi

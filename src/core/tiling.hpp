@@ -1,0 +1,66 @@
+// Memory-centric tiling (Sec. 5.1.3).
+//
+// "ZeRO-Infinity represents the operator as a mathematically equivalent
+// sequence of smaller linear operators consisting of tiles of parameters
+// from the original operator, and executes them sequentially. When combined
+// with ZeRO-3, the parameter and gradients of each tile can be fetched and
+// released one at a time, reducing the working memory proportional to the
+// number of tiles."
+//
+// TiledLinear splits a Linear along the output dimension into `tiles` child
+// Linear modules. Each child is an ordinary leaf module, so the ZeRO
+// coordinator gathers and releases one tile's parameters at a time —
+// exactly the fetch/release exploitation the paper describes — and the
+// result is numerically the concatenation of the tile outputs (exact up to
+// the usual non-associativity of the input-gradient accumulation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "model/linear.hpp"
+#include "model/mlp.hpp"
+#include "model/module.hpp"
+
+namespace zi {
+
+class TiledLinear : public Module {
+ public:
+  TiledLinear(std::string name, std::int64_t in_features,
+              std::int64_t out_features, int tiles, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+  int tiles() const noexcept { return static_cast<int>(tiles_.size()); }
+
+  /// Output-column range [begin, end) handled by tile t.
+  std::pair<std::int64_t, std::int64_t> tile_range(int t) const;
+
+  /// Mlp-compatible factory: tiling_factor == 1 produces plain Linears.
+  static Mlp::LinearFactory factory(int tiling_factor);
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  std::vector<std::unique_ptr<Linear>> tiles_;
+};
+
+/// Fig. 6b capacity check. Simulates the working-memory allocation sequence
+/// of one fetch/compute/release pass over the model's largest operator (the
+/// hd → 4hd linear, Eq. 4) with `tiles` tiles against `arena` — typically a
+/// virtual 32 GB arena pre-fragmented into 2 GB chunks, the paper's
+/// protocol. Each tile transiently needs its fp16 parameters and fp16
+/// gradients as two contiguous allocations. Returns false when the arena
+/// throws OutOfMemoryError.
+bool mswm_fits(DeviceArena& arena, std::int64_t hidden, int tiles);
+
+/// Largest hidden size (from `candidates`, ascending) trainable with the
+/// given tiling factor — the Fig. 6b measurement.
+std::int64_t max_hidden_with_tiling(DeviceArena& arena, int tiles,
+                                    const std::vector<std::int64_t>& candidates);
+
+}  // namespace zi

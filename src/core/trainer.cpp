@@ -1,0 +1,61 @@
+#include "core/trainer.hpp"
+
+#include "common/error.hpp"
+
+namespace zi {
+
+Trainer::Trainer(ZeroEngine& engine, Communicator& comm,
+                 const TokenDataset& train, const TokenDataset* eval_data,
+                 TrainerConfig config)
+    : engine_(engine),
+      comm_(comm),
+      train_(train),
+      eval_(eval_data),
+      config_(std::move(config)) {
+  ZI_CHECK(config_.total_steps > 0);
+  ZI_CHECK(config_.batch_per_rank > 0);
+  ZI_CHECK(config_.micro_batches > 0);
+}
+
+TrainerReport Trainer::run() {
+  TrainerReport report;
+  std::vector<std::vector<std::int32_t>> tok(
+      static_cast<std::size_t>(config_.micro_batches));
+  std::vector<std::vector<std::int32_t>> tgt(tok.size());
+  std::vector<ZeroEngine::MicroBatch> micros(tok.size());
+
+  for (std::int64_t step = engine_.steps() + 1; step <= config_.total_steps;
+       ++step) {
+    engine_.set_learning_rate(config_.schedule.at(step));
+    for (int m = 0; m < config_.micro_batches; ++m) {
+      // Distinct stream per (step, micro, rank), identical across
+      // strategies: the step axis is stretched by the accumulation factor.
+      const std::int64_t stream = step * config_.micro_batches + m;
+      train_.sample_batch(stream, comm_.rank(), config_.batch_per_rank,
+                          tok[static_cast<std::size_t>(m)],
+                          tgt[static_cast<std::size_t>(m)]);
+      micros[static_cast<std::size_t>(m)] = {tok[static_cast<std::size_t>(m)],
+                                             tgt[static_cast<std::size_t>(m)]};
+    }
+    const auto st = engine_.train_step(micros);
+    report.train_losses.push_back(st.global_loss);
+    if (st.skipped) ++report.skipped_steps;
+
+    if (eval_ != nullptr && config_.eval_every > 0 &&
+        step % config_.eval_every == 0) {
+      std::vector<std::int32_t> etok, etgt;
+      // Fixed eval stream (step 0) so the metric is comparable over time.
+      eval_->sample_batch(0, comm_.rank(), config_.eval_batch, etok, etgt);
+      report.eval_losses.push_back(engine_.eval_loss(etok, etgt));
+    }
+
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        step % config_.checkpoint_every == 0) {
+      engine_.save_checkpoint(config_.checkpoint_path);
+      ++report.checkpoints_written;
+    }
+  }
+  return report;
+}
+
+}  // namespace zi

@@ -1,0 +1,53 @@
+// Trainer — the top-level training loop a downstream user drives.
+//
+// Composes the pieces the rest of the library provides: deterministic
+// rank-sharded batches from a TokenDataset, gradient accumulation,
+// LR scheduling, periodic evaluation, and periodic universal checkpoints.
+// Collective: every rank constructs its own Trainer over its own engine
+// and calls run() in lockstep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace zi {
+
+struct TrainerConfig {
+  std::int64_t total_steps = 100;
+  std::int64_t batch_per_rank = 2;   ///< sequences per micro-batch
+  int micro_batches = 1;             ///< gradient-accumulation factor
+  std::int64_t eval_every = 0;       ///< 0 = never
+  std::int64_t eval_batch = 4;
+  std::int64_t checkpoint_every = 0; ///< 0 = never
+  std::string checkpoint_path;
+  LrSchedule schedule;
+};
+
+struct TrainerReport {
+  std::vector<float> train_losses;   ///< global mean loss per step
+  std::vector<float> eval_losses;    ///< one per evaluation point
+  std::int64_t skipped_steps = 0;    ///< fp16-overflow skips
+  std::int64_t checkpoints_written = 0;
+};
+
+class Trainer {
+ public:
+  /// `eval_data` may be null (disables evaluation regardless of config).
+  Trainer(ZeroEngine& engine, Communicator& comm, const TokenDataset& train,
+          const TokenDataset* eval_data, TrainerConfig config);
+
+  TrainerReport run();
+
+ private:
+  ZeroEngine& engine_;
+  Communicator& comm_;
+  const TokenDataset& train_;
+  const TokenDataset* eval_;
+  TrainerConfig config_;
+};
+
+}  // namespace zi

@@ -1,0 +1,57 @@
+#include "core/zero_config.hpp"
+
+namespace zi {
+
+EngineConfig preset_data_parallel() {
+  EngineConfig c;
+  c.stage = ZeroStage::kNone;
+  return c;
+}
+
+EngineConfig preset_zero1() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage1;
+  return c;
+}
+
+EngineConfig preset_zero2() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage2;
+  return c;
+}
+
+EngineConfig preset_zero_offload() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage2;
+  c.optimizer_placement = Placement::kCpu;
+  c.grad_placement = Placement::kCpu;
+  return c;
+}
+
+EngineConfig preset_zero3() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage3;
+  return c;
+}
+
+EngineConfig preset_zero_infinity_cpu() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage3;
+  c.param_placement = Placement::kCpu;
+  c.optimizer_placement = Placement::kCpu;
+  c.grad_placement = Placement::kCpu;
+  c.activation_placement = Placement::kCpu;
+  return c;
+}
+
+EngineConfig preset_zero_infinity_nvme() {
+  EngineConfig c;
+  c.stage = ZeroStage::kStage3;
+  c.param_placement = Placement::kNvme;
+  c.optimizer_placement = Placement::kNvme;
+  c.grad_placement = Placement::kCpu;  // reduced grads staged in CPU memory
+  c.activation_placement = Placement::kCpu;
+  return c;
+}
+
+}  // namespace zi

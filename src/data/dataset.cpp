@@ -1,0 +1,55 @@
+#include "data/dataset.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace zi {
+
+TokenDataset::TokenDataset(std::vector<std::int32_t> tokens, std::int64_t seq,
+                           std::uint64_t seed)
+    : tokens_(std::move(tokens)), seq_(seq), seed_(seed) {
+  ZI_CHECK_MSG(static_cast<std::int64_t>(tokens_.size()) > seq_,
+               "corpus of " << tokens_.size()
+                            << " tokens too small for seq " << seq_);
+}
+
+std::int64_t TokenDataset::num_windows() const {
+  return static_cast<std::int64_t>(tokens_.size()) - seq_;
+}
+
+void TokenDataset::window(std::int64_t start, std::span<std::int32_t> inputs,
+                          std::span<std::int32_t> targets) const {
+  ZI_CHECK(start >= 0 && start < num_windows());
+  ZI_CHECK(static_cast<std::int64_t>(inputs.size()) == seq_ &&
+           static_cast<std::int64_t>(targets.size()) == seq_);
+  for (std::int64_t i = 0; i < seq_; ++i) {
+    inputs[static_cast<std::size_t>(i)] =
+        tokens_[static_cast<std::size_t>(start + i)];
+    targets[static_cast<std::size_t>(i)] =
+        tokens_[static_cast<std::size_t>(start + i + 1)];
+  }
+}
+
+void TokenDataset::sample_batch(std::int64_t step, int rank,
+                                std::int64_t batch,
+                                std::vector<std::int32_t>& inputs,
+                                std::vector<std::int32_t>& targets) const {
+  inputs.resize(static_cast<std::size_t>(batch * seq_));
+  targets.resize(static_cast<std::size_t>(batch * seq_));
+  // Stream selection is a pure function of (seed, step, rank): the same
+  // batches regardless of strategy, and distinct batches per rank.
+  const Rng rng(seed_, (static_cast<std::uint64_t>(step) << 16) ^
+                           static_cast<std::uint64_t>(rank));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int64_t start = static_cast<std::int64_t>(
+        rng.at(static_cast<std::uint64_t>(b)) %
+        static_cast<std::uint64_t>(num_windows()));
+    window(start,
+           std::span<std::int32_t>(inputs.data() + b * seq_,
+                                   static_cast<std::size_t>(seq_)),
+           std::span<std::int32_t>(targets.data() + b * seq_,
+                                   static_cast<std::size_t>(seq_)));
+  }
+}
+
+}  // namespace zi

@@ -1,0 +1,46 @@
+// TokenDataset — next-token-prediction windows over a token stream, with
+// deterministic rank-sharded sampling.
+//
+// Data parallelism requires every rank to draw a DIFFERENT micro-batch
+// while every configuration (stage/placement) under test draws the SAME
+// one — so batch selection is a pure function of (seed, step, rank), built
+// on the counter-based RNG.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zi {
+
+class TokenDataset {
+ public:
+  /// `tokens` is the corpus as one flat id stream (must exceed seq+1).
+  TokenDataset(std::vector<std::int32_t> tokens, std::int64_t seq,
+               std::uint64_t seed = 1234);
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(tokens_.size());
+  }
+  std::int64_t seq() const noexcept { return seq_; }
+  /// Number of distinct windows.
+  std::int64_t num_windows() const;
+
+  /// The window starting at token offset `start`: inputs are
+  /// tokens[start, start+seq), targets the same shifted by one.
+  void window(std::int64_t start, std::span<std::int32_t> inputs,
+              std::span<std::int32_t> targets) const;
+
+  /// Deterministic micro-batch for (step, rank): `batch` windows drawn at
+  /// pseudo-random offsets; appends batch*seq ids to inputs/targets.
+  void sample_batch(std::int64_t step, int rank, std::int64_t batch,
+                    std::vector<std::int32_t>& inputs,
+                    std::vector<std::int32_t>& targets) const;
+
+ private:
+  std::vector<std::int32_t> tokens_;
+  std::int64_t seq_;
+  std::uint64_t seed_;
+};
+
+}  // namespace zi

@@ -1,0 +1,47 @@
+#include "data/tokenizer.hpp"
+
+#include "common/error.hpp"
+
+namespace zi {
+
+ByteTokenizer::ByteTokenizer() {
+  for (int i = 0; i < 256; ++i) char_to_id_[i] = unk_id();
+  for (int i = 0; i < 256; ++i) id_to_char_[i] = '?';
+
+  // id 0 = <unk>; ids 1.. = '\n', '\t', then printable ASCII 0x20..0x7E.
+  std::int32_t next = 1;
+  auto add = [&](char c) {
+    char_to_id_[static_cast<unsigned char>(c)] = next;
+    id_to_char_[next] = c;
+    ++next;
+  };
+  add('\n');
+  add('\t');
+  for (char c = 0x20; c <= 0x7E; ++c) add(c);
+  vocab_size_ = next;
+}
+
+std::int32_t ByteTokenizer::encode_char(char c) const {
+  return char_to_id_[static_cast<unsigned char>(c)];
+}
+
+char ByteTokenizer::decode_id(std::int32_t id) const {
+  ZI_CHECK_MSG(id >= 0 && id < vocab_size_, "id " << id << " out of vocab");
+  return id_to_char_[id];
+}
+
+std::vector<std::int32_t> ByteTokenizer::encode(std::string_view text) const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(text.size());
+  for (const char c : text) ids.push_back(encode_char(c));
+  return ids;
+}
+
+std::string ByteTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (const std::int32_t id : ids) out.push_back(decode_id(id));
+  return out;
+}
+
+}  // namespace zi

@@ -1,0 +1,36 @@
+// ByteTokenizer — a byte-level tokenizer for character language modeling.
+//
+// Maps printable ASCII (plus newline/tab) onto a compact id space so tiny
+// models can train on real text. Unknown bytes map to a dedicated <unk>
+// id; round-tripping is exact for the supported alphabet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zi {
+
+class ByteTokenizer {
+ public:
+  ByteTokenizer();
+
+  /// Number of distinct ids (the model's vocab size).
+  std::int64_t vocab_size() const noexcept { return vocab_size_; }
+
+  std::int32_t unk_id() const noexcept { return 0; }
+
+  std::int32_t encode_char(char c) const;
+  char decode_id(std::int32_t id) const;
+
+  std::vector<std::int32_t> encode(std::string_view text) const;
+  std::string decode(const std::vector<std::int32_t>& ids) const;
+
+ private:
+  std::int64_t vocab_size_;
+  std::int32_t char_to_id_[256];
+  char id_to_char_[256];
+};
+
+}  // namespace zi

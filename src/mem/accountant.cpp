@@ -1,0 +1,29 @@
+#include "mem/accountant.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace zi {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kGpu: return "GPU";
+    case Tier::kCpu: return "CPU";
+    case Tier::kNvme: return "NVMe";
+  }
+  return "?";
+}
+
+std::string MemoryAccountant::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumTiers; ++i) {
+    const Tier t = static_cast<Tier>(i);
+    if (i > 0) os << " | ";
+    os << tier_name(t) << " " << format_bytes(used(t)) << " (peak "
+       << format_bytes(peak(t)) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace zi

@@ -1,0 +1,56 @@
+// MemoryAccountant — per-tier byte accounting across the memory hierarchy.
+//
+// The offload engine reports where every model-state byte lives (GPU, CPU,
+// NVMe), mirroring the placement tables of the paper (Table 2). Counters are
+// atomic because rank threads and I/O workers update them concurrently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace zi {
+
+/// Memory tier in the heterogeneous hierarchy (Fig. 2b).
+enum class Tier : int { kGpu = 0, kCpu = 1, kNvme = 2 };
+
+inline constexpr int kNumTiers = 3;
+
+const char* tier_name(Tier t);
+
+class MemoryAccountant {
+ public:
+  void add(Tier tier, std::uint64_t bytes) {
+    used_[idx(tier)].fetch_add(bytes, std::memory_order_relaxed);
+    // peak update: racy-but-monotonic CAS loop
+    auto& peak = peak_[idx(tier)];
+    std::uint64_t cur = used_[idx(tier)].load(std::memory_order_relaxed);
+    std::uint64_t prev = peak.load(std::memory_order_relaxed);
+    while (cur > prev &&
+           !peak.compare_exchange_weak(prev, cur, std::memory_order_relaxed)) {
+    }
+  }
+
+  void sub(Tier tier, std::uint64_t bytes) {
+    used_[idx(tier)].fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t used(Tier tier) const {
+    return used_[idx(tier)].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t peak(Tier tier) const {
+    return peak_[idx(tier)].load(std::memory_order_relaxed);
+  }
+
+  /// "GPU 1.2 MiB (peak 3.4 MiB) | CPU ... | NVMe ..."
+  std::string summary() const;
+
+ private:
+  static int idx(Tier t) { return static_cast<int>(t); }
+  std::array<std::atomic<std::uint64_t>, kNumTiers> used_{};
+  std::array<std::atomic<std::uint64_t>, kNumTiers> peak_{};
+};
+
+}  // namespace zi

@@ -1,0 +1,24 @@
+#include "mem/aligned.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+void AlignedDeleter::operator()(std::byte* p) const noexcept { std::free(p); }
+
+AlignedBuffer allocate_aligned(std::size_t bytes, std::size_t alignment) {
+  ZI_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = alignment;  // keep a valid non-null allocation
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, padded);
+  return AlignedBuffer(static_cast<std::byte*>(p));
+}
+
+}  // namespace zi

@@ -1,0 +1,27 @@
+// Aligned heap allocation with RAII ownership.
+//
+// O_DIRECT file I/O requires buffers aligned to the logical block size
+// (typically 512 B or 4 KiB); we standardize on 4 KiB alignment for every
+// buffer that may touch the I/O engine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace zi {
+
+/// Alignment required for O_DIRECT-capable buffers.
+inline constexpr std::size_t kIoAlignment = 4096;
+
+struct AlignedDeleter {
+  void operator()(std::byte* p) const noexcept;
+};
+
+using AlignedBuffer = std::unique_ptr<std::byte[], AlignedDeleter>;
+
+/// Allocate `bytes` of zero-initialized memory aligned to `alignment`
+/// (power of two). Throws std::bad_alloc on failure.
+AlignedBuffer allocate_aligned(std::size_t bytes,
+                               std::size_t alignment = kIoAlignment);
+
+}  // namespace zi

@@ -1,0 +1,174 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace zi {
+
+ArenaBlock::ArenaBlock(ArenaBlock&& o) noexcept
+    : arena_(o.arena_), offset_(o.offset_), size_(o.size_), ptr_(o.ptr_) {
+  o.arena_ = nullptr;
+  o.ptr_ = nullptr;
+  o.size_ = 0;
+}
+
+ArenaBlock& ArenaBlock::operator=(ArenaBlock&& o) noexcept {
+  if (this != &o) {
+    release();
+    arena_ = o.arena_;
+    offset_ = o.offset_;
+    size_ = o.size_;
+    ptr_ = o.ptr_;
+    o.arena_ = nullptr;
+    o.ptr_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+ArenaBlock::~ArenaBlock() { release(); }
+
+void ArenaBlock::release() {
+  if (arena_ != nullptr) {
+    arena_->deallocate(offset_, size_);
+    arena_ = nullptr;
+    ptr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+DeviceArena::DeviceArena(std::string name, std::uint64_t capacity_bytes,
+                         Mode mode)
+    : name_(std::move(name)), capacity_(capacity_bytes), mode_(mode) {
+  ZI_CHECK(capacity_bytes > 0);
+  if (mode_ == Mode::kReal) {
+    backing_ = allocate_aligned(capacity_bytes, kIoAlignment);
+  }
+  free_spans_[0] = capacity_;
+  stats_.capacity = capacity_;
+}
+
+DeviceArena::~DeviceArena() = default;
+
+ArenaBlock DeviceArena::allocate(std::uint64_t bytes, std::uint64_t alignment) {
+  ZI_CHECK(alignment > 0);
+  if (bytes == 0) bytes = 1;
+  const std::uint64_t size = align_up(bytes, alignment);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t free_total = capacity_ - stats_.used - reserved_bytes_;
+  // First-fit: earliest span whose aligned start still fits `size`.
+  for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
+    const std::uint64_t span_off = it->first;
+    const std::uint64_t span_size = it->second;
+    const std::uint64_t start = align_up(span_off, alignment);
+    const std::uint64_t pad = start - span_off;
+    if (span_size < pad + size) continue;
+
+    const std::uint64_t remaining = span_size - pad - size;
+    free_spans_.erase(it);
+    if (pad > 0) free_spans_[span_off] = pad;
+    if (remaining > 0) free_spans_[start + size] = remaining;
+
+    stats_.used += size;
+    stats_.peak_used = std::max(stats_.peak_used, stats_.used);
+    ++stats_.num_allocs;
+    ++stats_.live_blocks;
+    std::byte* ptr =
+        mode_ == Mode::kReal ? backing_.get() + start : nullptr;
+    return ArenaBlock(this, start, size, ptr);
+  }
+
+  // Distinguish "not enough memory at all" from "enough memory but no
+  // contiguous span" — the latter is exactly the failure mode memory-centric
+  // tiling (Sec. 5.1.3) exists to avoid.
+  const bool contiguity = free_total >= size;
+  if (contiguity) {
+    ++stats_.oom_contiguity;
+  } else {
+    ++stats_.oom_capacity;
+  }
+  throw OutOfMemoryError(
+      "arena '" + name_ + "': cannot allocate " + format_bytes(size) +
+      (contiguity ? " (fragmentation: largest free block is " +
+                        format_bytes(largest_free_locked()) + ")"
+                  : " (capacity: " + format_bytes(free_total) + " free of " +
+                        format_bytes(capacity_) + ")"));
+}
+
+void DeviceArena::prefragment(std::uint64_t chunk_bytes) {
+  ZI_CHECK(chunk_bytes > 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ZI_CHECK_MSG(stats_.used == 0 && reserved_bytes_ == 0,
+               "prefragment requires a fully free arena");
+  free_spans_.clear();
+  // Leave a 1-byte reserved gap after every chunk so no free span exceeds
+  // chunk_bytes. (The paper's protocol: allocations > 2 GB must fail.)
+  std::uint64_t off = 0;
+  while (off < capacity_) {
+    const std::uint64_t span = std::min(chunk_bytes, capacity_ - off);
+    free_spans_[off] = span;
+    off += span;
+    if (off < capacity_) {
+      reserved_bytes_ += 1;
+      off += 1;
+    }
+  }
+}
+
+void DeviceArena::deallocate(std::uint64_t offset, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ZI_CHECK(stats_.used >= size);
+  stats_.used -= size;
+  ++stats_.num_frees;
+  --stats_.live_blocks;
+
+  auto [it, inserted] = free_spans_.emplace(offset, size);
+  ZI_CHECK_MSG(inserted, "double free in arena '" << name_ << "'");
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_spans_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_spans_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_spans_.erase(it);
+    }
+  }
+}
+
+DeviceArena::Stats DeviceArena::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.largest_free_block = largest_free_locked();
+  return s;
+}
+
+std::uint64_t DeviceArena::used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.used;
+}
+
+std::uint64_t DeviceArena::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ - stats_.used - reserved_bytes_;
+}
+
+std::uint64_t DeviceArena::largest_free_block() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return largest_free_locked();
+}
+
+std::uint64_t DeviceArena::largest_free_locked() const {
+  std::uint64_t best = 0;
+  for (const auto& [off, size] : free_spans_) best = std::max(best, size);
+  return best;
+}
+
+}  // namespace zi

@@ -1,0 +1,94 @@
+#include "mem/pinned_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+PinnedLease::PinnedLease(PinnedLease&& o) noexcept
+    : pool_(o.pool_), index_(o.index_), data_(o.data_), size_(o.size_) {
+  o.pool_ = nullptr;
+}
+
+PinnedLease& PinnedLease::operator=(PinnedLease&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    index_ = o.index_;
+    data_ = o.data_;
+    size_ = o.size_;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PinnedLease::~PinnedLease() { release(); }
+
+void PinnedLease::release() {
+  if (pool_ != nullptr) {
+    pool_->release(index_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+PinnedBufferPool::PinnedBufferPool(std::size_t buffer_bytes,
+                                   std::size_t num_buffers)
+    : buffer_bytes_(buffer_bytes) {
+  ZI_CHECK(buffer_bytes > 0);
+  ZI_CHECK(num_buffers > 0);
+  buffers_.reserve(num_buffers);
+  free_indices_.reserve(num_buffers);
+  for (std::size_t i = 0; i < num_buffers; ++i) {
+    buffers_.push_back(allocate_aligned(buffer_bytes, kIoAlignment));
+    free_indices_.push_back(num_buffers - 1 - i);  // hand out index 0 first
+  }
+  stats_.num_buffers = num_buffers;
+  stats_.buffer_bytes = buffer_bytes;
+}
+
+PinnedLease PinnedBufferPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (free_indices_.empty()) {
+    ++stats_.blocked_acquires;
+    cv_.wait(lock, [this] { return !free_indices_.empty(); });
+  }
+  return make_lease_locked();
+}
+
+std::optional<PinnedLease> PinnedBufferPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_indices_.empty()) return std::nullopt;
+  return make_lease_locked();
+}
+
+PinnedLease PinnedBufferPool::make_lease_locked() {
+  const std::size_t idx = free_indices_.back();
+  free_indices_.pop_back();
+  ++stats_.total_acquires;
+  const std::uint64_t in_use = buffers_.size() - free_indices_.size();
+  stats_.peak_in_use = std::max(stats_.peak_in_use, in_use);
+  return PinnedLease(this, idx, buffers_[idx].get(), buffer_bytes_);
+}
+
+void PinnedBufferPool::release(std::size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_indices_.push_back(index);
+  }
+  cv_.notify_one();
+}
+
+std::size_t PinnedBufferPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_indices_.size();
+}
+
+PinnedBufferPool::Stats PinnedBufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace zi

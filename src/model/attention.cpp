@@ -1,0 +1,154 @@
+#include "model/attention.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+CausalSelfAttention::CausalSelfAttention(std::string name, std::int64_t hd,
+                                         std::int64_t num_heads,
+                                         std::int64_t seq)
+    : Module(std::move(name)),
+      hd_(hd),
+      heads_(num_heads),
+      seq_(seq),
+      head_size_(hd / num_heads) {
+  ZI_CHECK_MSG(hd % num_heads == 0,
+               "hidden " << hd << " not divisible by heads " << num_heads);
+  qkv_ = std::make_unique<Linear>(this->name() + ".qkv", hd_, 3 * hd_);
+  proj_ = std::make_unique<Linear>(this->name() + ".proj", hd_, hd_);
+  register_child(qkv_.get());
+  register_child(proj_.get());
+}
+
+namespace {
+
+/// Copy one head's rows from the packed QKV activation into a contiguous
+/// [seq, head_size] scratch. `which` selects q (0), k (1), or v (2).
+void gather_head(const float* qkv, float* dst, std::int64_t b, std::int64_t h,
+                 int which, std::int64_t seq, std::int64_t hd,
+                 std::int64_t hs) {
+  for (std::int64_t t = 0; t < seq; ++t) {
+    const float* src = qkv + (b * seq + t) * 3 * hd + which * hd + h * hs;
+    std::copy(src, src + hs, dst + t * hs);
+  }
+}
+
+/// Scatter-add a contiguous [seq, head_size] gradient back into the packed
+/// QKV gradient layout.
+void scatter_head(const float* src, float* dqkv, std::int64_t b,
+                  std::int64_t h, int which, std::int64_t seq, std::int64_t hd,
+                  std::int64_t hs) {
+  for (std::int64_t t = 0; t < seq; ++t) {
+    float* dst = dqkv + (b * seq + t) * 3 * hd + which * hd + h * hs;
+    const float* row = src + t * hs;
+    for (std::int64_t i = 0; i < hs; ++i) dst[i] += row[i];
+  }
+}
+
+}  // namespace
+
+Tensor CausalSelfAttention::forward(const Tensor& input) {
+  ZI_CHECK_MSG(input.ndim() == 2 && input.dim(1) == hd_ &&
+                   input.dim(0) % seq_ == 0,
+               "attention " << this->name() << ": bad input "
+                            << input.to_string());
+  const std::int64_t tokens = input.dim(0);
+  const std::int64_t batch = tokens / seq_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_size_));
+
+  Tensor qkv = qkv_->run_forward(input);  // [tokens, 3hd]
+  saved_att_ = Tensor({batch * heads_, seq_, seq_}, DType::kF32);
+  Tensor y1({tokens, hd_}, DType::kF32);
+
+  std::vector<float> q(static_cast<std::size_t>(seq_ * head_size_));
+  std::vector<float> k(q.size()), v(q.size()), o(q.size());
+  std::vector<float> scores(static_cast<std::size_t>(seq_ * seq_));
+
+  const float* qkv_p = qkv.data<float>();
+  float* att_p = saved_att_.data<float>();
+  float* y1_p = y1.data<float>();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      gather_head(qkv_p, q.data(), b, h, 0, seq_, hd_, head_size_);
+      gather_head(qkv_p, k.data(), b, h, 1, seq_, hd_, head_size_);
+      gather_head(qkv_p, v.data(), b, h, 2, seq_, hd_, head_size_);
+      // scores = q·k^T / sqrt(hs), causal-masked, softmaxed.
+      gemm_nt(q.data(), k.data(), scores.data(), seq_, head_size_, seq_,
+              scale);
+      apply_causal_mask(scores.data(), seq_);
+      float* att = att_p + (b * heads_ + h) * seq_ * seq_;
+      softmax_forward(scores.data(), att, seq_, seq_);
+      // o = att·v, written into the per-head slice of y1.
+      gemm(att, v.data(), o.data(), seq_, seq_, head_size_);
+      for (std::int64_t t = 0; t < seq_; ++t) {
+        std::copy(o.data() + t * head_size_, o.data() + (t + 1) * head_size_,
+                  y1_p + (b * seq_ + t) * hd_ + h * head_size_);
+      }
+    }
+  }
+  saved_qkv_ = std::move(qkv);
+  return proj_->run_forward(y1);
+}
+
+Tensor CausalSelfAttention::backward(const Tensor& grad_output) {
+  ZI_CHECK(saved_qkv_.defined() && saved_att_.defined());
+  const std::int64_t tokens = saved_qkv_.dim(0);
+  const std::int64_t batch = tokens / seq_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_size_));
+
+  Tensor dy1 = proj_->run_backward(grad_output);  // [tokens, hd]
+  Tensor dqkv({tokens, 3 * hd_}, DType::kF32);    // zero-initialized
+
+  std::vector<float> q(static_cast<std::size_t>(seq_ * head_size_));
+  std::vector<float> k(q.size()), v(q.size()), do_(q.size());
+  std::vector<float> dq(q.size()), dk(q.size()), dv(q.size());
+  std::vector<float> datt(static_cast<std::size_t>(seq_ * seq_));
+  std::vector<float> dscores(datt.size());
+
+  const float* qkv_p = saved_qkv_.data<float>();
+  const float* att_p = saved_att_.data<float>();
+  const float* dy1_p = dy1.data<float>();
+  float* dqkv_p = dqkv.data<float>();
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      gather_head(qkv_p, q.data(), b, h, 0, seq_, hd_, head_size_);
+      gather_head(qkv_p, k.data(), b, h, 1, seq_, hd_, head_size_);
+      gather_head(qkv_p, v.data(), b, h, 2, seq_, hd_, head_size_);
+      for (std::int64_t t = 0; t < seq_; ++t) {
+        std::copy(dy1_p + (b * seq_ + t) * hd_ + h * head_size_,
+                  dy1_p + (b * seq_ + t) * hd_ + (h + 1) * head_size_,
+                  do_.data() + t * head_size_);
+      }
+      const float* att = att_p + (b * heads_ + h) * seq_ * seq_;
+      // o = att·v  ⇒  datt = do·v^T, dv = att^T·do.
+      gemm_nt(do_.data(), v.data(), datt.data(), seq_, head_size_, seq_);
+      gemm_tn(att, do_.data(), dv.data(), seq_, seq_, head_size_);
+      // att = softmax(scores) ⇒ dscores (masked entries have att == 0, so
+      // their gradient is exactly zero).
+      softmax_backward(att, datt.data(), dscores.data(), seq_, seq_);
+      // scores = scale · q·k^T  ⇒  dq = scale · dscores·k,
+      //                            dk = scale · dscores^T·q.
+      gemm(dscores.data(), k.data(), dq.data(), seq_, seq_, head_size_, scale);
+      gemm_tn(dscores.data(), q.data(), dk.data(), seq_, seq_, head_size_,
+              scale);
+      scatter_head(dq.data(), dqkv_p, b, h, 0, seq_, hd_, head_size_);
+      scatter_head(dk.data(), dqkv_p, b, h, 1, seq_, hd_, head_size_);
+      scatter_head(dv.data(), dqkv_p, b, h, 2, seq_, hd_, head_size_);
+    }
+  }
+  saved_qkv_ = Tensor();
+  saved_att_ = Tensor();
+  return qkv_->run_backward(dqkv);
+}
+
+void CausalSelfAttention::drop_activations() {
+  saved_qkv_ = Tensor();
+  saved_att_ = Tensor();
+  Module::drop_activations();
+}
+
+}  // namespace zi

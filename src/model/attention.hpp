@@ -1,0 +1,44 @@
+// Causal multi-head self-attention.
+//
+// Parameters live in the two child Linear modules (QKV projection and
+// output projection) so the ZeRO coordinator fetches/releases them at leaf
+// granularity; the attention math itself is parameter-free.
+#pragma once
+
+#include <memory>
+
+#include "model/linear.hpp"
+#include "model/module.hpp"
+
+namespace zi {
+
+class CausalSelfAttention : public Module {
+ public:
+  /// hd must be divisible by num_heads; seq is the fixed sequence length
+  /// (inputs are flattened [batch*seq, hd]).
+  CausalSelfAttention(std::string name, std::int64_t hd, std::int64_t num_heads,
+                      std::int64_t seq);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+  Linear& qkv_proj() noexcept { return *qkv_; }
+  Linear& out_proj() noexcept { return *proj_; }
+
+ private:
+  std::int64_t hd_;
+  std::int64_t heads_;
+  std::int64_t seq_;
+  std::int64_t head_size_;
+  std::unique_ptr<Linear> qkv_;   // [hd, 3hd]
+  std::unique_ptr<Linear> proj_;  // [hd, hd]
+
+  // Saved for backward: the QKV activations and the attention probabilities
+  // (these dominate AWM, Eq. 5 — 16*hd from linears + 2*heads*seq from the
+  // attention matrices).
+  Tensor saved_qkv_;  // [batch*seq, 3hd]
+  Tensor saved_att_;  // [batch*heads, seq, seq]
+};
+
+}  // namespace zi

@@ -1,0 +1,49 @@
+#include "model/checkpoint.hpp"
+
+#include "common/error.hpp"
+
+namespace zi {
+
+CheckpointWrapper::CheckpointWrapper(std::string name,
+                                     std::unique_ptr<Module> inner, int slot)
+    : Module(std::move(name)), inner_(std::move(inner)), slot_(slot) {
+  ZI_CHECK(inner_ != nullptr);
+  register_child(inner_.get());
+}
+
+Tensor CheckpointWrapper::forward(const Tensor& input) {
+  // Save the checkpoint (Eq. 3 memory), then compute and discard internals.
+  if (offloader_ != nullptr) {
+    offloader_->save(slot_, input);
+    input_offloaded_ = true;
+  } else {
+    saved_input_ = input.clone();
+  }
+  Tensor out = inner_->run_forward(input);
+  inner_->drop_activations();
+  return out;
+}
+
+Tensor CheckpointWrapper::backward(const Tensor& grad_output) {
+  // Recompute (the 0.33x extra forward of Sec. 3), then real backward.
+  Tensor input;
+  if (input_offloaded_) {
+    input = offloader_->load(slot_);
+    offloader_->discard(slot_);
+    input_offloaded_ = false;
+  } else {
+    ZI_CHECK_MSG(saved_input_.defined(),
+                 "checkpoint " << this->name() << ": backward before forward");
+    input = std::move(saved_input_);
+  }
+  (void)inner_->run_forward(input);
+  return inner_->run_backward(grad_output);
+}
+
+void CheckpointWrapper::drop_activations() {
+  // Deliberately keeps the checkpointed input: that is the state this
+  // wrapper exists to preserve. Internal activations are dropped.
+  Module::drop_activations();
+}
+
+}  // namespace zi

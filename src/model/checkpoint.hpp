@@ -1,0 +1,57 @@
+// Activation checkpointing (Sec. 2 "Reducing Activation Memory",
+// Sec. 5.1.2 "CPU Offload for activations").
+//
+// Forward: run the wrapped module, keep only its *input* (the checkpoint),
+// and drop every internal activation. Backward: recompute the forward from
+// the checkpoint (re-firing all hooks, so ZeRO re-gathers parameters — the
+// "+1 × parameters" data movement of Sec. 4.1), then run the real backward.
+//
+// The checkpoint itself can be kept local ("GPU"), or handed to an
+// ActivationOffloader that moves it to CPU or NVMe — the engine installs an
+// offloader backed by the infinity offload engine.
+#pragma once
+
+#include <memory>
+
+#include "model/module.hpp"
+
+namespace zi {
+
+/// Destination-agnostic interface for moving activation checkpoints off
+/// the accelerator. Implemented in the core library over the infinity
+/// offload engine; the model layer only knows save/load.
+class ActivationOffloader {
+ public:
+  virtual ~ActivationOffloader() = default;
+  /// Persist `t` under `slot` (overwrites any previous tensor there).
+  virtual void save(int slot, const Tensor& t) = 0;
+  /// Retrieve the tensor saved under `slot`.
+  virtual Tensor load(int slot) = 0;
+  /// Drop the tensor saved under `slot`.
+  virtual void discard(int slot) = 0;
+};
+
+class CheckpointWrapper : public Module {
+ public:
+  CheckpointWrapper(std::string name, std::unique_ptr<Module> inner, int slot);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+  /// Engine-installed offloader (nullptr = keep checkpoints local).
+  void set_offloader(ActivationOffloader* offloader) {
+    offloader_ = offloader;
+  }
+
+  Module& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Module> inner_;
+  int slot_;
+  ActivationOffloader* offloader_ = nullptr;
+  Tensor saved_input_;    // used when no offloader installed
+  bool input_offloaded_ = false;
+};
+
+}  // namespace zi

@@ -1,0 +1,53 @@
+#include "model/embedding.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+Embedding::Embedding(std::string name, std::int64_t vocab, std::int64_t dim,
+                     float init_scale)
+    : Module(std::move(name)), vocab_(vocab), dim_(dim) {
+  table_ = register_parameter("table", {vocab_, dim_}, InitKind::kNormal,
+                              init_scale);
+}
+
+Tensor Embedding::forward_ids(std::span<const std::int32_t> ids) {
+  fire_pre_forward();
+  for (const std::int32_t id : ids) {
+    ZI_CHECK_MSG(id >= 0 && id < vocab_,
+                 "embedding id " << id << " out of vocab " << vocab_);
+  }
+  saved_ids_.assign(ids.begin(), ids.end());
+  Tensor out({static_cast<std::int64_t>(ids.size()), dim_}, DType::kF32);
+  embedding_forward(table_->data(), ids.data(), out.data<float>(),
+                    static_cast<std::int64_t>(ids.size()), dim_);
+  fire_post_forward();
+  return out;
+}
+
+void Embedding::backward_ids(const Tensor& grad_output) {
+  fire_pre_backward();
+  ZI_CHECK_MSG(!saved_ids_.empty(), "embedding backward before forward");
+  ZI_CHECK(grad_output.dim(0) ==
+           static_cast<std::int64_t>(saved_ids_.size()));
+  embedding_backward(saved_ids_.data(), grad_output.data<float>(),
+                     table_->grad_data(),
+                     static_cast<std::int64_t>(saved_ids_.size()), dim_);
+  saved_ids_.clear();
+  fire_post_backward();
+}
+
+void Embedding::drop_activations() {
+  saved_ids_.clear();
+  Module::drop_activations();
+}
+
+Tensor Embedding::forward(const Tensor&) {
+  throw Error("Embedding requires forward_ids(), not forward()");
+}
+
+Tensor Embedding::backward(const Tensor&) {
+  throw Error("Embedding requires backward_ids(), not backward()");
+}
+
+}  // namespace zi

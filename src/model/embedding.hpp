@@ -1,0 +1,42 @@
+// Token/position embedding table with scatter-add backward.
+//
+// Uses typed entry points (ids are integers, not Tensors); callers fire
+// hooks via forward_ids()/backward_ids() which wrap the compute exactly
+// like run_forward()/run_backward() do for single-Tensor modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/module.hpp"
+
+namespace zi {
+
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, std::int64_t vocab, std::int64_t dim,
+            float init_scale = 0.02f);
+
+  /// Gather rows for `ids`; output [ids.size(), dim]. Fires hooks.
+  Tensor forward_ids(std::span<const std::int32_t> ids);
+  /// Scatter-add grads for the ids of the preceding forward. Fires hooks.
+  void backward_ids(const Tensor& grad_output);
+
+  void drop_activations() override;
+
+  Parameter* table() noexcept { return table_; }
+  std::int64_t vocab() const noexcept { return vocab_; }
+  std::int64_t dim() const noexcept { return dim_; }
+
+  // Tensor-based interface is unsupported (ids are not float tensors).
+  Tensor forward(const Tensor&) override;
+  Tensor backward(const Tensor&) override;
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t dim_;
+  Parameter* table_;  // [vocab, dim]
+  std::vector<std::int32_t> saved_ids_;
+};
+
+}  // namespace zi

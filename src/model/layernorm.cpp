@@ -1,0 +1,49 @@
+#include "model/layernorm.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t dim)
+    : Module(std::move(name)), dim_(dim) {
+  gamma_ = register_parameter("gamma", {dim_}, InitKind::kOne);
+  beta_ = register_parameter("beta", {dim_}, InitKind::kZero);
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  ZI_CHECK_MSG(input.ndim() == 2 && input.dim(1) == dim_,
+               "layernorm " << this->name() << ": bad input "
+                            << input.to_string());
+  const std::int64_t rows = input.dim(0);
+  saved_input_ = input.clone();
+  saved_mean_ = Tensor({rows}, DType::kF32);
+  saved_rstd_ = Tensor({rows}, DType::kF32);
+  Tensor out({rows, dim_}, DType::kF32);
+  layernorm_forward(input.data<float>(), gamma_->data(), beta_->data(),
+                    out.data<float>(), saved_mean_.data<float>(),
+                    saved_rstd_.data<float>(), rows, dim_);
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  ZI_CHECK(saved_input_.defined());
+  const std::int64_t rows = saved_input_.dim(0);
+  Tensor grad_in({rows, dim_}, DType::kF32);
+  layernorm_backward(saved_input_.data<float>(), gamma_->data(),
+                     saved_mean_.data<float>(), saved_rstd_.data<float>(),
+                     grad_output.data<float>(), grad_in.data<float>(),
+                     gamma_->grad_data(), beta_->grad_data(), rows, dim_);
+  saved_input_ = Tensor();
+  saved_mean_ = Tensor();
+  saved_rstd_ = Tensor();
+  return grad_in;
+}
+
+void LayerNorm::drop_activations() {
+  saved_input_ = Tensor();
+  saved_mean_ = Tensor();
+  saved_rstd_ = Tensor();
+  Module::drop_activations();
+}
+
+}  // namespace zi

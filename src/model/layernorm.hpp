@@ -1,0 +1,28 @@
+// LayerNorm over the feature dimension of [tokens, dim] inputs.
+#pragma once
+
+#include "model/module.hpp"
+
+namespace zi {
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, std::int64_t dim);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+  Parameter* gamma() noexcept { return gamma_; }
+  Parameter* beta() noexcept { return beta_; }
+
+ private:
+  std::int64_t dim_;
+  Parameter* gamma_;  // [dim], init 1
+  Parameter* beta_;   // [dim], init 0
+  Tensor saved_input_;
+  Tensor saved_mean_;
+  Tensor saved_rstd_;
+};
+
+}  // namespace zi

@@ -1,0 +1,48 @@
+#include "model/linear.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, bool bias, float init_scale)
+    : Module(std::move(name)), in_(in_features), out_(out_features) {
+  weight_ = register_parameter("weight", {in_, out_}, InitKind::kNormal,
+                               init_scale);
+  if (bias) {
+    bias_ = register_parameter("bias", {out_}, InitKind::kZero);
+  }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  ZI_CHECK_MSG(input.ndim() == 2 && input.dim(1) == in_,
+               "linear " << this->name() << ": bad input " << input.to_string());
+  const std::int64_t tokens = input.dim(0);
+  saved_input_ = input.clone();
+  Tensor out({tokens, out_}, DType::kF32);
+  linear_forward(input.data<float>(), weight_->data(),
+                 bias_ != nullptr ? bias_->data() : nullptr, out.data<float>(),
+                 tokens, in_, out_);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  ZI_CHECK_MSG(saved_input_.defined(),
+               "linear " << this->name() << ": backward before forward");
+  const std::int64_t tokens = saved_input_.dim(0);
+  Tensor grad_in({tokens, in_}, DType::kF32);
+  linear_backward(saved_input_.data<float>(), weight_->data(),
+                  grad_output.data<float>(), grad_in.data<float>(),
+                  weight_->grad_data(),
+                  bias_ != nullptr ? bias_->grad_data() : nullptr, tokens, in_,
+                  out_);
+  saved_input_ = Tensor();
+  return grad_in;
+}
+
+void Linear::drop_activations() {
+  saved_input_ = Tensor();
+  Module::drop_activations();
+}
+
+}  // namespace zi

@@ -1,0 +1,30 @@
+// Linear layer y = x·W + b over flattened token batches [tokens, features].
+#pragma once
+
+#include "model/module.hpp"
+
+namespace zi {
+
+class Linear : public Module {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features,
+         bool bias = true, float init_scale = 0.02f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+  Parameter* weight() noexcept { return weight_; }
+  Parameter* bias() noexcept { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Parameter* weight_;       // [in, out]
+  Parameter* bias_ = nullptr;  // [out]
+  Tensor saved_input_;      // [tokens, in] for backward
+};
+
+}  // namespace zi

@@ -1,0 +1,43 @@
+#include "model/mlp.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+Mlp::Mlp(std::string name, std::int64_t hd, const LinearFactory& factory)
+    : Module(std::move(name)), hd_(hd) {
+  if (factory) {
+    fc1_ = factory(this->name() + ".fc1", hd_, 4 * hd_);
+    fc2_ = factory(this->name() + ".fc2", 4 * hd_, hd_);
+  } else {
+    fc1_ = std::make_unique<Linear>(this->name() + ".fc1", hd_, 4 * hd_);
+    fc2_ = std::make_unique<Linear>(this->name() + ".fc2", 4 * hd_, hd_);
+  }
+  register_child(fc1_.get());
+  register_child(fc2_.get());
+}
+
+Tensor Mlp::forward(const Tensor& input) {
+  Tensor h = fc1_->run_forward(input);  // [tokens, 4hd]
+  saved_pre_gelu_ = h.clone();
+  Tensor g({h.dim(0), h.dim(1)}, DType::kF32);
+  gelu_forward(h.data<float>(), g.data<float>(), h.numel());
+  return fc2_->run_forward(g);
+}
+
+Tensor Mlp::backward(const Tensor& grad_output) {
+  ZI_CHECK(saved_pre_gelu_.defined());
+  Tensor dg = fc2_->run_backward(grad_output);  // [tokens, 4hd]
+  Tensor dh({dg.dim(0), dg.dim(1)}, DType::kF32);
+  gelu_backward(saved_pre_gelu_.data<float>(), dg.data<float>(),
+                dh.data<float>(), dg.numel());
+  saved_pre_gelu_ = Tensor();
+  return fc1_->run_backward(dh);
+}
+
+void Mlp::drop_activations() {
+  saved_pre_gelu_ = Tensor();
+  Module::drop_activations();
+}
+
+}  // namespace zi

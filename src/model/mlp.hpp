@@ -1,0 +1,41 @@
+// Transformer feed-forward block: fc1 (hd→4hd) → GELU → fc2 (4hd→hd).
+//
+// The fc1 weight is the model's largest single operator — the one whose
+// working-memory footprint motivates memory-centric tiling (Eq. 4,
+// Sec. 5.1.3). The core library's TiledLinear can be swapped in for fc1/fc2
+// via the `make_linear` factory hook.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "model/linear.hpp"
+#include "model/module.hpp"
+
+namespace zi {
+
+class Mlp : public Module {
+ public:
+  /// Factory so ZeRO-Infinity can substitute tiled linears without the
+  /// model knowing (ease-of-use: no model refactoring).
+  using LinearFactory = std::function<std::unique_ptr<Module>(
+      std::string name, std::int64_t in, std::int64_t out)>;
+
+  Mlp(std::string name, std::int64_t hd,
+      const LinearFactory& factory = nullptr);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+  Module& fc1() noexcept { return *fc1_; }
+  Module& fc2() noexcept { return *fc2_; }
+
+ private:
+  std::int64_t hd_;
+  std::unique_ptr<Module> fc1_;  // [hd, 4hd]
+  std::unique_ptr<Module> fc2_;  // [4hd, hd]
+  Tensor saved_pre_gelu_;        // [tokens, 4hd]
+};
+
+}  // namespace zi

@@ -1,0 +1,112 @@
+#include "model/mlp_net.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+MlpClassifier::MlpClassifier(const MlpNetConfig& config)
+    : Module("mlpnet"), config_(config) {
+  features_ = std::make_unique<Embedding>("mlpnet.features",
+                                          config_.num_features,
+                                          config_.hidden);
+  register_child(features_.get());
+  for (std::int64_t d = 0; d < config_.depth; ++d) {
+    hidden_.push_back(std::make_unique<Linear>(
+        "mlpnet.fc" + std::to_string(d), config_.hidden, config_.hidden));
+    register_child(hidden_.back().get());
+  }
+  head_ = std::make_unique<Linear>("mlpnet.head", config_.hidden,
+                                   config_.num_classes);
+  register_child(head_.get());
+  finalize();
+}
+
+float MlpClassifier::forward_loss(std::span<const std::int32_t> inputs,
+                                  std::span<const std::int32_t> targets) {
+  const std::int64_t fpe = config_.features_per_example;
+  ZI_CHECK_MSG(static_cast<std::int64_t>(inputs.size()) ==
+                   static_cast<std::int64_t>(targets.size()) * fpe,
+               "inputs must be batch*features_per_example, targets batch");
+  saved_batch_ = static_cast<std::int64_t>(targets.size());
+
+  // Feature embeddings, mean-pooled per example.
+  Tensor emb = features_->forward_ids(inputs);  // [batch*fpe, hidden]
+  Tensor x({saved_batch_, config_.hidden}, DType::kF32);
+  const float* ep = emb.data<float>();
+  float* xp = x.data<float>();
+  const float inv = 1.0f / static_cast<float>(fpe);
+  for (std::int64_t b = 0; b < saved_batch_; ++b) {
+    for (std::int64_t f = 0; f < fpe; ++f) {
+      const float* row = ep + (b * fpe + f) * config_.hidden;
+      for (std::int64_t j = 0; j < config_.hidden; ++j) {
+        xp[b * config_.hidden + j] += row[j] * inv;
+      }
+    }
+  }
+
+  saved_pre_gelu_.clear();
+  for (auto& lin : hidden_) {
+    Tensor h = lin->run_forward(x);
+    saved_pre_gelu_.push_back(h.clone());
+    Tensor g({h.dim(0), h.dim(1)}, DType::kF32);
+    gelu_forward(h.data<float>(), g.data<float>(), h.numel());
+    x = std::move(g);
+  }
+  Tensor logits = head_->run_forward(x);
+
+  saved_probs_ = Tensor({saved_batch_, config_.num_classes}, DType::kF32);
+  saved_targets_.assign(targets.begin(), targets.end());
+  return cross_entropy_forward(logits.data<float>(), targets.data(),
+                               saved_probs_.data<float>(), saved_batch_,
+                               config_.num_classes);
+}
+
+void MlpClassifier::backward_loss(float loss_scale) {
+  ZI_CHECK_MSG(saved_probs_.defined(), "backward_loss before forward_loss");
+  Tensor dlogits({saved_batch_, config_.num_classes}, DType::kF32);
+  cross_entropy_backward(saved_probs_.data<float>(), saved_targets_.data(),
+                         dlogits.data<float>(), saved_batch_,
+                         config_.num_classes, loss_scale);
+  saved_probs_ = Tensor();
+
+  Tensor dx = head_->run_backward(dlogits);
+  for (std::size_t d = hidden_.size(); d-- > 0;) {
+    Tensor dh({dx.dim(0), dx.dim(1)}, DType::kF32);
+    gelu_backward(saved_pre_gelu_[d].data<float>(), dx.data<float>(),
+                  dh.data<float>(), dx.numel());
+    dx = hidden_[d]->run_backward(dh);
+  }
+  saved_pre_gelu_.clear();
+
+  // Un-pool: each feature row receives dy/fpe.
+  const std::int64_t fpe = config_.features_per_example;
+  Tensor demb({saved_batch_ * fpe, config_.hidden}, DType::kF32);
+  const float inv = 1.0f / static_cast<float>(fpe);
+  const float* dxp = dx.data<float>();
+  float* dep = demb.data<float>();
+  for (std::int64_t b = 0; b < saved_batch_; ++b) {
+    for (std::int64_t f = 0; f < fpe; ++f) {
+      for (std::int64_t j = 0; j < config_.hidden; ++j) {
+        dep[(b * fpe + f) * config_.hidden + j] =
+            dxp[b * config_.hidden + j] * inv;
+      }
+    }
+  }
+  features_->backward_ids(demb);
+}
+
+std::int64_t MlpClassifier::num_parameters() {
+  std::int64_t n = 0;
+  for (Parameter* p : all_parameters()) n += p->numel();
+  return n;
+}
+
+Tensor MlpClassifier::forward(const Tensor&) {
+  throw Error("MlpClassifier requires forward_loss(inputs, targets)");
+}
+
+Tensor MlpClassifier::backward(const Tensor&) {
+  throw Error("MlpClassifier requires backward_loss(loss_scale)");
+}
+
+}  // namespace zi

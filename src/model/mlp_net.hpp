@@ -1,0 +1,58 @@
+// MlpClassifier — a deliberately non-transformer architecture.
+//
+// Exists to demonstrate the engine's architecture independence (Sec. 5.3):
+// mean-pooled feature embeddings → a stack of Linear+GELU blocks → a class
+// head. No attention, no weight tying, no sequence structure — yet it
+// trains under every ZeRO stage/placement through the same hooks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/embedding.hpp"
+#include "model/linear.hpp"
+#include "model/trainable.hpp"
+
+namespace zi {
+
+struct MlpNetConfig {
+  std::int64_t num_features = 64;   ///< input feature vocabulary
+  std::int64_t features_per_example = 8;
+  std::int64_t hidden = 32;
+  std::int64_t depth = 2;           ///< hidden Linear+GELU blocks
+  std::int64_t num_classes = 10;
+};
+
+class MlpClassifier : public Module, public TrainableModel {
+ public:
+  explicit MlpClassifier(const MlpNetConfig& config);
+
+  // TrainableModel.
+  Module& module() override { return *this; }
+  /// inputs: [batch * features_per_example] feature ids;
+  /// targets: [batch] class labels.
+  float forward_loss(std::span<const std::int32_t> inputs,
+                     std::span<const std::int32_t> targets) override;
+  void backward_loss(float loss_scale) override;
+
+  const MlpNetConfig& config() const noexcept { return config_; }
+  std::int64_t num_parameters();
+
+  // Module interface (unsupported on the multi-input root).
+  Tensor forward(const Tensor&) override;
+  Tensor backward(const Tensor&) override;
+
+ private:
+  MlpNetConfig config_;
+  std::unique_ptr<Embedding> features_;
+  std::vector<std::unique_ptr<Linear>> hidden_;
+  std::unique_ptr<Linear> head_;
+
+  // Saved between forward_loss and backward_loss.
+  std::vector<Tensor> saved_pre_gelu_;  // per hidden layer
+  Tensor saved_probs_;
+  std::vector<std::int32_t> saved_targets_;
+  std::int64_t saved_batch_ = 0;
+};
+
+}  // namespace zi

@@ -1,0 +1,98 @@
+#include "model/module.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+Tensor Module::run_forward(const Tensor& input) {
+  fire_pre_forward();
+  Tensor out = forward(input);
+  fire_post_forward();
+  return out;
+}
+
+Tensor Module::run_backward(const Tensor& grad_output) {
+  fire_pre_backward();
+  Tensor grad_in = backward(grad_output);
+  fire_post_backward();
+  return grad_in;
+}
+
+void Module::drop_activations() {
+  for (Module* c : children_) c->drop_activations();
+}
+
+void Module::install_hooks(const Hooks& hooks) {
+  hooks_ = hooks;
+  for (Module* c : children_) c->install_hooks(hooks);
+}
+
+std::vector<Parameter*> Module::compute_parameters() const {
+  std::vector<Parameter*> out;
+  out.reserve(params_.size() + external_params_.size());
+  for (const auto& p : params_) out.push_back(p.get());
+  for (Parameter* p : external_params_) out.push_back(p);
+  return out;
+}
+
+void Module::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  for (Module* c : children_) c->collect_modules(out);
+}
+
+std::vector<Parameter*> Module::all_parameters() {
+  std::vector<Module*> mods;
+  collect_modules(mods);
+  std::vector<Parameter*> out;
+  for (Module* m : mods) {
+    for (const auto& p : m->params_) out.push_back(p.get());
+  }
+  return out;
+}
+
+void Module::finalize() {
+  const auto params = all_parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->set_id(static_cast<int>(i));
+  }
+}
+
+void Module::register_external_parameter(Parameter* p) {
+  ZI_CHECK(p != nullptr);
+  if (std::find(external_params_.begin(), external_params_.end(), p) ==
+      external_params_.end()) {
+    external_params_.push_back(p);
+  }
+}
+
+void Module::fire_pre_forward() {
+  if (hooks_.pre_forward) hooks_.pre_forward(*this);
+}
+void Module::fire_post_forward() {
+  if (hooks_.post_forward) hooks_.post_forward(*this);
+}
+void Module::fire_pre_backward() {
+  if (hooks_.pre_backward) hooks_.pre_backward(*this);
+}
+void Module::fire_post_backward() {
+  if (hooks_.post_backward) hooks_.post_backward(*this);
+}
+
+Parameter* Module::register_parameter(const std::string& local_name,
+                                      std::vector<std::int64_t> shape,
+                                      InitKind init, float init_scale) {
+  auto p = std::make_unique<Parameter>(name_ + "." + local_name,
+                                       std::move(shape), init, init_scale);
+  p->set_owner(this);
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+void Module::register_child(Module* child) {
+  ZI_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace zi

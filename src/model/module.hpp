@@ -1,0 +1,118 @@
+// Module — the layer/submodule tree with injectable lifecycle hooks.
+//
+// Mirrors the structure ZeRO-Infinity relies on in PyTorch (Sec. 7.1):
+// "PyTorch models are expressed as a hierarchy of modules ... ZeRO-Infinity
+// recursively injects hooks into the submodules of a model to automate the
+// required data movement."
+//
+// Hook contract:
+//   * pre-forward  — fired before a module's forward; the coordinator uses
+//     it to allgather the module's parameters (own + registered external).
+//   * post-forward — fired after forward; the coordinator re-partitions and
+//     optionally offloads the parameters.
+//   * pre-backward / post-backward — same around the backward pass; the
+//     post-backward hook additionally triggers gradient reduce-scatter.
+//
+// Composite modules invoke children through run_forward()/run_backward()
+// so hooks fire at every level; parameters live at leaves, so fetch/release
+// happens at leaf granularity — the finest-grained (most memory-frugal)
+// schedule, matching ZeRO-3 semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zi {
+
+class Module {
+ public:
+  using Hook = std::function<void(Module&)>;
+
+  struct Hooks {
+    Hook pre_forward;
+    Hook post_forward;
+    Hook pre_backward;
+    Hook post_backward;
+  };
+
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Single-input modules implement these. Multi-input roots (GPT) expose
+  /// their own typed entry points and use fire_*() directly.
+  virtual Tensor forward(const Tensor& input) = 0;
+  /// Returns grad wrt input; accumulates into parameter grad buffers.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Run forward with hooks. This is how parents must invoke children.
+  Tensor run_forward(const Tensor& input);
+  /// Run backward with hooks (parents call children in reverse order).
+  Tensor run_backward(const Tensor& grad_output);
+
+  /// Free stored activations (used by the activation-checkpoint wrapper;
+  /// they are recomputed in backward). Recurses into children.
+  virtual void drop_activations();
+
+  /// Install hooks on this module and every descendant.
+  void install_hooks(const Hooks& hooks);
+
+  /// Parameters registered directly on this module (leaves, usually).
+  const std::vector<std::unique_ptr<Parameter>>& own_parameters() const {
+    return params_;
+  }
+  /// External parameters this module *uses* but does not own (Sec. 7.1.1 —
+  /// e.g. tied embedding weights consumed by the LM head).
+  const std::vector<Parameter*>& external_parameters() const {
+    return external_params_;
+  }
+  /// Everything the coordinator must gather before this module computes.
+  std::vector<Parameter*> compute_parameters() const;
+
+  const std::vector<Module*>& children() const noexcept { return children_; }
+
+  /// Pre-order walk of the subtree rooted here.
+  void collect_modules(std::vector<Module*>& out);
+  /// All parameters in the subtree (pre-order, each exactly once).
+  std::vector<Parameter*> all_parameters();
+
+  /// Assign dense ids to every parameter in the subtree (call once on the
+  /// root). Ids follow pre-order traversal, identical on every rank.
+  void finalize();
+
+  /// Manual registration of an external parameter (Sec. 7.1.1: "We provide
+  /// APIs for manual registration of external parameters").
+  void register_external_parameter(Parameter* p);
+
+  // Hook firing — public so multi-input roots can wrap custom compute.
+  void fire_pre_forward();
+  void fire_post_forward();
+  void fire_pre_backward();
+  void fire_post_backward();
+
+ protected:
+  Parameter* register_parameter(const std::string& local_name,
+                                std::vector<std::int64_t> shape, InitKind init,
+                                float init_scale = 0.02f);
+  /// Declare a child; the parent stores non-owning pointers (children are
+  /// members of the concrete subclass and owned by it).
+  void register_child(Module* child);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<Parameter*> external_params_;
+  std::vector<Module*> children_;
+  Hooks hooks_;
+};
+
+}  // namespace zi

@@ -1,0 +1,104 @@
+#include "model/pipeline.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zi {
+
+PipelineStage::PipelineStage(const GptConfig& config, int stage,
+                             int num_stages, std::optional<Communicator> tp)
+    : Module("gpt.stage" + std::to_string(stage)),
+      config_(config),
+      stage_(stage),
+      num_stages_(num_stages) {
+  ZI_CHECK(stage >= 0 && stage < num_stages);
+  ZI_CHECK_MSG(config_.layers >= num_stages,
+               "fewer layers than pipeline stages");
+
+  if (is_first()) {
+    wte_ = std::make_unique<Embedding>("gpt.wte", config_.vocab,
+                                       config_.hidden);
+    wpe_ = std::make_unique<Embedding>("gpt.wpe", config_.seq, config_.hidden,
+                                       /*init_scale=*/0.01f);
+    register_child(wte_.get());
+    register_child(wpe_.get());
+  }
+  const auto [lo, hi] = layer_range();
+  for (std::int64_t l = lo; l < hi; ++l) {
+    const std::string bname = "gpt.block" + std::to_string(l);
+    if (tp.has_value()) {
+      blocks_.push_back(std::make_unique<TpBlock>(
+          bname, config_.hidden, config_.heads, config_.seq, *tp));
+    } else {
+      blocks_.push_back(std::make_unique<TransformerBlock>(
+          bname, config_.hidden, config_.heads, config_.seq,
+          config_.linear_factory));
+    }
+    register_child(blocks_.back().get());
+  }
+  if (is_last()) {
+    ln_f_ = std::make_unique<LayerNorm>("gpt.ln_f", config_.hidden);
+    head_lin_ = std::make_unique<Linear>("gpt.lm_head", config_.hidden,
+                                         config_.vocab, /*bias=*/false);
+    register_child(ln_f_.get());
+    register_child(head_lin_.get());
+  }
+  finalize();
+}
+
+std::pair<std::int64_t, std::int64_t> PipelineStage::layer_range() const {
+  const std::int64_t lo = config_.layers * stage_ / num_stages_;
+  const std::int64_t hi = config_.layers * (stage_ + 1) / num_stages_;
+  return {lo, hi};
+}
+
+Tensor PipelineStage::embed(std::span<const std::int32_t> tokens) {
+  ZI_CHECK_MSG(is_first(), "embed() is a first-stage operation");
+  Tensor x = wte_->forward_ids(tokens);
+  std::vector<std::int32_t> positions(tokens.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    positions[i] =
+        static_cast<std::int32_t>(i % static_cast<std::size_t>(config_.seq));
+  }
+  Tensor pos = wpe_->forward_ids(positions);
+  add_inplace(x.span<float>(), pos.span<float>());
+  return x;
+}
+
+Tensor PipelineStage::forward(const Tensor& input) {
+  Tensor x = input.clone();
+  for (auto& block : blocks_) x = block->run_forward(x);
+  if (is_last()) x = ln_f_->run_forward(x);
+  return x;
+}
+
+Tensor PipelineStage::head(const Tensor& hidden) {
+  ZI_CHECK_MSG(is_last(), "head() is a last-stage operation");
+  return head_lin_->run_forward(hidden);
+}
+
+Tensor PipelineStage::backward(const Tensor& grad_output) {
+  Tensor dx = grad_output.clone();
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    dx = (*it)->run_backward(dx);
+  }
+  return dx;
+}
+
+Tensor PipelineStage::head_backward(const Tensor& dlogits) {
+  ZI_CHECK(is_last());
+  return ln_f_->run_backward(head_lin_->run_backward(dlogits));
+}
+
+void PipelineStage::embed_backward(const Tensor& dx) {
+  ZI_CHECK(is_first());
+  wpe_->backward_ids(dx);
+  wte_->backward_ids(dx);
+}
+
+std::int64_t PipelineStage::num_local_parameters() {
+  std::int64_t n = 0;
+  for (Parameter* p : all_parameters()) n += p->numel();
+  return n;
+}
+
+}  // namespace zi

@@ -1,0 +1,75 @@
+// Pipeline parallelism — the vertical split of the 3D-parallelism baseline
+// (Sec. 2: pipeline parallelism splits the model "horizontally" across
+// processes; each stage owns a contiguous span of layers).
+//
+// PipelineStage holds only this stage's slice of the GPT:
+//   * the first stage additionally owns the embeddings,
+//   * the last stage owns the final layernorm and an (untied) LM head —
+//     weight tying across the first and last stages is exactly the kind of
+//     cross-stage dependency that makes models "difficult to be expressed
+//     into load-balanced pipeline stages" (Sec. 2), so the baseline unties.
+//
+// Blocks can be dense (TransformerBlock) or tensor-parallel (TpBlock), so
+// stages compose with tensor parallelism into the full 3D grid.
+//
+// The schedule is deliberately sequential (one micro-batch in flight):
+// capacity semantics — the reason 3D parallelism exists — are identical to
+// GPipe, while bubble-overlap throughput is a wall-clock property modeled
+// by the simulator, not measurable on rank threads sharing one CPU.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "model/block.hpp"
+#include "model/embedding.hpp"
+#include "model/gpt.hpp"
+#include "model/layernorm.hpp"
+#include "model/tensor_parallel.hpp"
+
+namespace zi {
+
+class PipelineStage : public Module {
+ public:
+  /// Build stage `stage` of `num_stages` for the given model shape. Layers
+  /// are divided contiguously; parameter names match the single-device Gpt
+  /// ("gpt.blockK...") so deterministic init is identical at every pp
+  /// degree. `tp` (optional) makes the blocks tensor-parallel.
+  PipelineStage(const GptConfig& config, int stage, int num_stages,
+                std::optional<Communicator> tp = std::nullopt);
+
+  bool is_first() const noexcept { return stage_ == 0; }
+  bool is_last() const noexcept { return stage_ == num_stages_ - 1; }
+  /// [first_layer, last_layer) handled by this stage.
+  std::pair<std::int64_t, std::int64_t> layer_range() const;
+
+  /// First stage: embed the token ids.
+  Tensor embed(std::span<const std::int32_t> tokens);
+  /// Any stage: run this stage's blocks (and final LN on the last stage).
+  Tensor forward(const Tensor& input) override;
+  /// Last stage: logits from the stage output.
+  Tensor head(const Tensor& hidden);
+  /// Backward through the blocks; returns grad wrt the stage input.
+  Tensor backward(const Tensor& grad_output) override;
+  /// Last stage: backward through the head into the block gradient.
+  Tensor head_backward(const Tensor& dlogits);
+  /// First stage: scatter the input gradient into the embeddings.
+  void embed_backward(const Tensor& dx);
+
+  std::int64_t num_local_parameters();
+  const GptConfig& config() const noexcept { return config_; }
+
+ private:
+  GptConfig config_;
+  int stage_;
+  int num_stages_;
+  std::unique_ptr<Embedding> wte_;  // first stage only
+  std::unique_ptr<Embedding> wpe_;  // first stage only
+  std::vector<std::unique_ptr<Module>> blocks_;
+  std::unique_ptr<LayerNorm> ln_f_;   // last stage only
+  std::unique_ptr<Linear> head_lin_;  // last stage only (untied)
+};
+
+}  // namespace zi

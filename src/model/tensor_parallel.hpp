@@ -1,0 +1,129 @@
+// Tensor (model) parallelism — the Megatron-style baseline the paper
+// contrasts against (Sec. 2: "model parallelism ... limited specifically
+// to mean tensor-slicing based approaches").
+//
+// Each tensor-parallel (tp) rank holds a slice of every big operator:
+//   * attention: heads are divided across ranks — QKV is a column-parallel
+//     projection onto the local heads, the output projection is
+//     row-parallel with an allreduce;
+//   * MLP: fc1 is column-parallel (GELU applies locally), fc2 is
+//     row-parallel with an allreduce;
+//   * layernorms, embeddings, and biases-after-reduce are replicated
+//     (their gradients are identical on every tp rank by construction).
+//
+// This is exactly the "model code refactoring" burden ZeRO-Infinity
+// removes (Sec. 5.3): compare TpGpt's construction — which must thread a
+// tp communicator through every layer — with the plain Gpt the ZeRO
+// engine trains unchanged.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "model/embedding.hpp"
+#include "model/layernorm.hpp"
+#include "model/gpt.hpp"
+#include "model/linear.hpp"
+#include "model/trainable.hpp"
+
+namespace zi {
+
+/// Multi-head attention with heads divided across the tp group.
+class TpAttention : public Module {
+ public:
+  TpAttention(std::string name, std::int64_t hd, std::int64_t num_heads,
+              std::int64_t seq, Communicator tp);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+ private:
+  std::int64_t hd_;
+  std::int64_t local_heads_;
+  std::int64_t local_hd_;  ///< hd / tp — width of this rank's head slice
+  std::int64_t seq_;
+  std::int64_t head_size_;
+  Communicator tp_;
+  std::unique_ptr<Linear> qkv_;   // [hd, 3·hd/tp] column-parallel slice
+  std::unique_ptr<Linear> proj_;  // [hd/tp, hd] row-parallel slice (no bias)
+  Parameter* proj_bias_;          // [hd], replicated; added after allreduce
+
+  Tensor saved_qkv_;
+  Tensor saved_att_;
+};
+
+/// Feed-forward with fc1 column-parallel and fc2 row-parallel.
+class TpMlp : public Module {
+ public:
+  TpMlp(std::string name, std::int64_t hd, Communicator tp);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void drop_activations() override;
+
+ private:
+  std::int64_t hd_;
+  std::int64_t local_ffn_;  ///< 4·hd / tp
+  Communicator tp_;
+  std::unique_ptr<Linear> fc1_;  // [hd, 4hd/tp]
+  std::unique_ptr<Linear> fc2_;  // [4hd/tp, hd] (no bias)
+  Parameter* fc2_bias_;          // [hd], replicated
+  Tensor saved_pre_gelu_;
+};
+
+/// Pre-LN transformer block with tensor-parallel attention and MLP.
+class TpBlock : public Module {
+ public:
+  TpBlock(std::string name, std::int64_t hd, std::int64_t num_heads,
+          std::int64_t seq, Communicator tp);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_;
+  std::unique_ptr<TpAttention> attn_;
+  std::unique_ptr<LayerNorm> ln2_;
+  std::unique_ptr<TpMlp> mlp_;
+};
+
+/// The full tensor-parallel GPT — the Megatron-style baseline model.
+class TpGpt : public Module, public TrainableModel {
+ public:
+  struct Config {
+    std::int64_t vocab = 64;
+    std::int64_t seq = 16;
+    std::int64_t hidden = 32;
+    std::int64_t layers = 2;
+    std::int64_t heads = 4;
+  };
+
+  TpGpt(const Config& config, Communicator tp);
+
+  Module& module() override { return *this; }
+  float forward_loss(std::span<const std::int32_t> tokens,
+                     std::span<const std::int32_t> targets) override;
+  void backward_loss(float loss_scale) override;
+
+  std::int64_t num_local_parameters();
+  const Config& config() const noexcept { return config_; }
+
+  Tensor forward(const Tensor&) override;
+  Tensor backward(const Tensor&) override;
+
+ private:
+  Config config_;
+  Communicator tp_;
+  std::unique_ptr<Embedding> wte_;  // replicated
+  std::unique_ptr<Embedding> wpe_;  // replicated
+  std::vector<std::unique_ptr<TpBlock>> blocks_;
+  std::unique_ptr<LayerNorm> ln_f_;
+  std::unique_ptr<TiedLmHead> head_;  // external-parameter consumer
+
+  Tensor saved_probs_;
+  std::vector<std::int32_t> saved_targets_;
+};
+
+}  // namespace zi

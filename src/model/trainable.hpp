@@ -1,0 +1,44 @@
+// TrainableModel — the contract between a model and the ZeRO engine.
+//
+// The ease-inspired implementation (Sec. 7) works for "arbitrary model
+// architectures": the engine only needs (a) the module tree to inject its
+// hooks into, (b) a loss-producing forward over integer batches, and (c) a
+// scaled backward. Any architecture implementing this interface trains
+// under every ZeRO stage and placement without further changes — the GPT
+// of the paper's evaluation and the attention-free MLP classifier in
+// mlp_net.hpp are both clients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/checkpoint.hpp"
+#include "model/module.hpp"
+
+namespace zi {
+
+class TrainableModel {
+ public:
+  virtual ~TrainableModel() = default;
+
+  /// Root of the module tree (hooks are installed on every descendant).
+  virtual Module& module() = 0;
+
+  /// Compute the mean loss of one micro-batch of flattened integer inputs
+  /// and targets. Must route all submodule execution through
+  /// run_forward()/the hook-firing entry points.
+  virtual float forward_loss(std::span<const std::int32_t> inputs,
+                             std::span<const std::int32_t> targets) = 0;
+
+  /// Backpropagate grad of (loss_scale × loss); accumulate into parameter
+  /// gradient buffers.
+  virtual void backward_loss(float loss_scale) = 0;
+
+  /// Route activation checkpoints through `offloader` (nullptr = keep them
+  /// local). Default: no checkpointing support.
+  virtual void set_activation_offloader(ActivationOffloader* offloader) {
+    (void)offloader;
+  }
+};
+
+}  // namespace zi

@@ -1,0 +1,46 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+void adam_step(const AdamConfig& config, std::int64_t step,
+               std::span<float> master, std::span<float> momentum,
+               std::span<float> variance, std::span<const float> grad,
+               float grad_scale, float clip_coef) {
+  ZI_CHECK(step >= 1);
+  ZI_CHECK(master.size() == momentum.size() &&
+           master.size() == variance.size() && master.size() == grad.size());
+  const float bc1 =
+      1.0f - std::pow(config.beta1, static_cast<float>(step));
+  const float bc2 =
+      1.0f - std::pow(config.beta2, static_cast<float>(step));
+  const float inv_scale = grad_scale == 1.0f ? 1.0f : 1.0f / grad_scale;
+
+  for (std::size_t i = 0; i < master.size(); ++i) {
+    float g = grad[i] * inv_scale * clip_coef;
+    if (config.weight_decay != 0.0f && !config.decoupled_weight_decay) {
+      g += config.weight_decay * master[i];
+    }
+    momentum[i] = config.beta1 * momentum[i] + (1.0f - config.beta1) * g;
+    variance[i] = config.beta2 * variance[i] + (1.0f - config.beta2) * g * g;
+    const float m_hat = momentum[i] / bc1;
+    const float v_hat = variance[i] / bc2;
+    float update = m_hat / (std::sqrt(v_hat) + config.eps);
+    if (config.weight_decay != 0.0f && config.decoupled_weight_decay) {
+      update += config.weight_decay * master[i];
+    }
+    master[i] -= config.lr * update;
+  }
+}
+
+float clip_coefficient(double global_sqnorm, float max_norm) {
+  if (max_norm <= 0.0f) return 1.0f;
+  const double norm = std::sqrt(global_sqnorm);
+  if (norm <= static_cast<double>(max_norm)) return 1.0f;
+  return static_cast<float>(static_cast<double>(max_norm) / (norm + 1e-12));
+}
+
+}  // namespace zi

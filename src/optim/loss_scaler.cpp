@@ -1,0 +1,29 @@
+#include "optim/loss_scaler.hpp"
+
+#include <algorithm>
+
+namespace zi {
+
+DynamicLossScaler::DynamicLossScaler(const Config& config)
+    : config_(config), scale_(config.enabled ? config.init_scale : 1.0f) {}
+
+bool DynamicLossScaler::update(bool found_overflow) {
+  if (!config_.enabled) {
+    ++good_;
+    return false;
+  }
+  if (found_overflow) {
+    scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+    steps_since_backoff_ = 0;
+    ++skipped_;
+    return true;
+  }
+  ++good_;
+  if (++steps_since_backoff_ >= config_.growth_interval) {
+    scale_ = std::min(config_.max_scale, scale_ * config_.growth_factor);
+    steps_since_backoff_ = 0;
+  }
+  return false;
+}
+
+}  // namespace zi

@@ -1,0 +1,64 @@
+// Dynamic loss scaling for fp16 mixed-precision training (Sec. 2).
+//
+// The loss is multiplied by `scale` before backward so small gradients
+// survive fp16; gradients are divided by `scale` inside the optimizer. On
+// overflow (inf/NaN in any gradient) the step is skipped and the scale
+// backs off; after `growth_interval` clean steps the scale doubles.
+// Rank-coordinated: every rank must feed the globally-reduced overflow
+// flag so scales stay in lockstep.
+#pragma once
+
+#include <cstdint>
+
+namespace zi {
+
+class DynamicLossScaler {
+ public:
+  struct Config {
+    float init_scale = 65536.0f;
+    float growth_factor = 2.0f;
+    float backoff_factor = 0.5f;
+    int growth_interval = 2000;
+    float min_scale = 1.0f;
+    float max_scale = 16777216.0f;  // 2^24
+    bool enabled = true;            // disabled → scale pinned to 1
+  };
+
+  DynamicLossScaler() : DynamicLossScaler(Config{}) {}
+  explicit DynamicLossScaler(const Config& config);
+
+  float scale() const noexcept { return scale_; }
+
+  /// Feed the (globally agreed) overflow outcome of the step just taken.
+  /// Returns true if the optimizer step must be SKIPPED.
+  bool update(bool found_overflow);
+
+  std::int64_t skipped_steps() const noexcept { return skipped_; }
+  std::int64_t good_steps() const noexcept { return good_; }
+
+  /// Serializable state for training checkpoints.
+  struct Snapshot {
+    float scale = 1.0f;
+    int steps_since_backoff = 0;
+    std::int64_t skipped = 0;
+    std::int64_t good = 0;
+  };
+  Snapshot snapshot() const noexcept {
+    return {scale_, steps_since_backoff_, skipped_, good_};
+  }
+  void restore(const Snapshot& s) noexcept {
+    scale_ = s.scale;
+    steps_since_backoff_ = s.steps_since_backoff;
+    skipped_ = s.skipped;
+    good_ = s.good;
+  }
+
+ private:
+  Config config_;
+  float scale_;
+  int steps_since_backoff_ = 0;
+  std::int64_t skipped_ = 0;
+  std::int64_t good_ = 0;
+};
+
+}  // namespace zi

@@ -1,0 +1,28 @@
+#include "optim/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zi {
+
+float LrSchedule::at(std::int64_t step) const {
+  step = std::max<std::int64_t>(step, 1);
+  if (warmup_steps > 0 && step <= warmup_steps) {
+    return base_lr * static_cast<float>(step) /
+           static_cast<float>(warmup_steps);
+  }
+  if (decay == Decay::kConstant) return base_lr;
+  const std::int64_t decay_total = std::max<std::int64_t>(
+      1, total_steps - warmup_steps);
+  const float progress = std::min(
+      1.0f, static_cast<float>(step - warmup_steps) /
+                static_cast<float>(decay_total));
+  if (decay == Decay::kLinear) {
+    return min_lr + (base_lr - min_lr) * (1.0f - progress);
+  }
+  // Cosine.
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979f * progress));
+  return min_lr + (base_lr - min_lr) * cosine;
+}
+
+}  // namespace zi

@@ -1,0 +1,23 @@
+// Learning-rate schedules: linear warmup followed by cosine or linear
+// decay — the standard recipe for the transformer training the paper's
+// evaluation runs.
+#pragma once
+
+#include <cstdint>
+
+namespace zi {
+
+struct LrSchedule {
+  enum class Decay { kConstant, kLinear, kCosine };
+
+  float base_lr = 1e-3f;
+  float min_lr = 0.0f;
+  std::int64_t warmup_steps = 0;
+  std::int64_t total_steps = 1;
+  Decay decay = Decay::kCosine;
+
+  /// Learning rate at 1-based optimizer step `step`.
+  float at(std::int64_t step) const;
+};
+
+}  // namespace zi

@@ -1,0 +1,31 @@
+#include "sim/efficiency.hpp"
+
+#include "common/error.hpp"
+
+namespace zi::sim {
+
+double computation_per_iter(double batch, double seq, double params) {
+  return 2.0 * 4.0 * batch * seq * params;
+}
+
+double ait_param_grad(double batch, double seq) { return seq * batch; }
+
+double ait_optimizer(double batch, double seq) { return seq * batch / 4.0; }
+
+double ait_activation(double hidden, double ckpt_interval) {
+  return 24.0 * hidden * ckpt_interval;
+}
+
+double efficiency(double ait, double bw, double peak_tp) {
+  ZI_CHECK(ait > 0 && bw > 0 && peak_tp > 0);
+  return ait * bw / (ait * bw + peak_tp);
+}
+
+double bandwidth_for_efficiency(double ait, double peak_tp,
+                                double target_efficiency) {
+  ZI_CHECK(target_efficiency > 0 && target_efficiency < 1);
+  // e = ab/(ab+p) → b = e·p / (a·(1-e))
+  return target_efficiency * peak_tp / (ait * (1.0 - target_efficiency));
+}
+
+}  // namespace zi::sim

@@ -1,0 +1,31 @@
+// Arithmetic-intensity and efficiency model (Sec. 4, Eqs. 6-11).
+//
+// efficiency = ait·bw / (ait·bw + peak_tp)                      (Eq. 6)
+// computation/iter = 2·4·bsz·seq·params                         (Eq. 7/8)
+// ait(params+grads)      = seq·bsz                              (Eq. 9)
+// ait(optimizer states)  = seq·bsz/4                            (Eq. 10)
+// ait(act. checkpoints)  = 24·hd·ci                             (Eq. 11)
+#pragma once
+
+#include <cstdint>
+
+namespace zi::sim {
+
+/// Eq. (7): total training FLOPs per iteration (fwd + bwd + recompute).
+double computation_per_iter(double batch, double seq, double params);
+
+/// Eq. (9).
+double ait_param_grad(double batch, double seq);
+/// Eq. (10).
+double ait_optimizer(double batch, double seq);
+/// Eq. (11).
+double ait_activation(double hidden, double ckpt_interval);
+
+/// Eq. (6). `bw` in bytes/s, `peak_tp` in FLOP/s, `ait` in FLOP/byte.
+double efficiency(double ait, double bw, double peak_tp);
+
+/// Invert Eq. (6): bandwidth needed for a target efficiency.
+double bandwidth_for_efficiency(double ait, double peak_tp,
+                                double target_efficiency);
+
+}  // namespace zi::sim

@@ -1,0 +1,18 @@
+#include "sim/hw_model.hpp"
+
+namespace zi::sim {
+
+ClusterSpec dgx2_cluster() {
+  ClusterSpec spec;
+  spec.cpu_mem_per_node = 1536ull * kGiB;  // 1.5 TB
+  return spec;
+}
+
+ClusterSpec scaled_accelerator(double factor) {
+  ClusterSpec spec = dgx2_cluster();
+  spec.name = "V100 x" + std::to_string(static_cast<int>(factor));
+  spec.peak_tp *= factor;
+  return spec;
+}
+
+}  // namespace zi::sim

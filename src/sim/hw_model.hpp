@@ -1,0 +1,60 @@
+// Hardware model of the paper's evaluation platform (Fig. 2b): an NVIDIA
+// V100 DGX-2 SuperPOD cluster. All constants come from Fig. 2b and Secs.
+// 4-6 of the paper; Table 3's hypothetical 10x/100x accelerators are scaled
+// variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace zi::sim {
+
+struct ClusterSpec {
+  std::string name = "V100 DGX-2";
+  int gpus_per_node = 16;
+
+  // --- capacities (bytes) -------------------------------------------------
+  std::uint64_t gpu_mem = 32ull * kGiB;            ///< HBM per GPU
+  std::uint64_t cpu_mem_per_node = 1536ull * kGiB;  ///< 1.5 TB
+  std::uint64_t nvme_per_node = 28ull * kTiB;      ///< NVMe per node
+
+  // --- bandwidths (bytes/s) ----------------------------------------------
+  double gpu_mem_bw = 900e9;        ///< HBM2, 600-900 GB/s
+  double pcie_bw_per_gpu = 12e9;    ///< single GPU ↔ CPU/NVMe over PCIe
+  /// Per-GPU achievable when ALL GPUs read CPU memory in parallel (Fig. 2b
+  /// row "CPU 3.0"): aggregate PCIe is the limiter.
+  double cpu_bw_per_gpu_parallel = 3e9;
+  /// Per-GPU achievable when all GPUs read NVMe in parallel (Fig. 2b row
+  /// "NVMe 1.6"): aggregate NVMe bandwidth per node ≈ 25.6 GB/s.
+  double nvme_bw_per_gpu_parallel = 1.6e9;
+  /// GPU↔GPU (NVSwitch within node / InfiniBand across): the paper uses
+  /// 70 GB/s per GPU as the efficient-communication anchor (Sec. 5.2.1).
+  double gpu_gpu_bw = 70e9;
+
+  // --- compute -------------------------------------------------------------
+  /// Achievable (not theoretical) peak per GPU: 70 TFlops (Sec. 4.2).
+  double peak_tp = 70e12;
+  /// Aggregate CPU compute per node usable for the optimizer step; a DGX-2
+  /// has 2x 24-core Xeons; fused CPU Adam sustains a few GFlops/core.
+  double cpu_flops_per_node = 200e9;
+
+  // Derived helpers.
+  double nvme_bw_per_node() const {
+    return nvme_bw_per_gpu_parallel * gpus_per_node;
+  }
+  double cpu_bw_per_node() const {
+    return cpu_bw_per_gpu_parallel * gpus_per_node;
+  }
+  std::uint64_t gpu_mem_per_node() const { return gpu_mem * gpus_per_node; }
+};
+
+/// The paper's evaluation cluster.
+ClusterSpec dgx2_cluster();
+
+/// Table 3: accelerators with `factor`x the achievable compute of a V100;
+/// slow-memory and GPU-GPU bandwidth requirements scale proportionally.
+ClusterSpec scaled_accelerator(double factor);
+
+}  // namespace zi::sim

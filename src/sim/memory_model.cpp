@@ -1,0 +1,164 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zi::sim {
+
+namespace {
+
+// Shape anchors taken from the paper's own configurations (Table 1,
+// Table 4, Fig. 2a): realistic (hidden, heads) aspect ratios at each scale.
+// shape_for_params picks the nearest anchor and adjusts the layer count.
+struct Anchor {
+  double params;
+  std::int64_t layers;
+  std::int64_t hidden;
+  std::int64_t heads;
+};
+
+constexpr std::array<Anchor, 11> kAnchors = {{
+    {1.4e9, 40, 1536, 16},     // Table 4
+    {10e9, 50, 4096, 16},      // Table 1
+    {20e9, 98, 4096, 32},      // Table 4
+    {70e9, 125, 8192, 32},     // Table 4
+    {100e9, 80, 10240, 128},   // Fig. 2a (0.1T)
+    {500e9, 100, 20480, 160},  // Fig. 2a (0.5T)
+    {1e12, 128, 25600, 256},   // Fig. 2a / Table 1
+    {5e12, 174, 49152, 512},   // Table 1 (5T)
+    {10e12, 195, 65536, 512},  // Fig. 2a / Table 1
+    {32e12, 230, 96256, 1024}, // Fig. 1 (32T on 512 GPUs)
+    {100e12, 315, 163840, 1024},  // Fig. 2a (100T)
+}};
+
+}  // namespace
+
+ModelShape shape_for_params(double target_params) {
+  ZI_CHECK(target_params > 0);
+  const Anchor* best = &kAnchors[0];
+  double best_ratio = 1e300;
+  for (const Anchor& a : kAnchors) {
+    const double ratio = std::fabs(std::log(target_params / a.params));
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = &a;
+    }
+  }
+  ModelShape shape;
+  shape.hidden = best->hidden;
+  shape.attn_heads = best->heads;
+  shape.layers = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(
+             target_params / (12.0 * static_cast<double>(best->hidden) *
+                              static_cast<double>(best->hidden)))));
+  shape.batch_per_gpu = 1;
+  return shape;
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kDataParallel: return "Data parallel";
+    case Strategy::kZero2: return "ZeRO-2";
+    case Strategy::kZeroOffload: return "ZeRO-Offload";
+    case Strategy::kZero3: return "ZeRO-3";
+    case Strategy::kThreeD: return "3D parallelism";
+    case Strategy::kZeroInfCpu: return "ZeRO-Inf-CPU";
+    case Strategy::kZeroInfNvme: return "ZeRO-Inf-NVMe";
+  }
+  return "?";
+}
+
+MemoryFootprint strategy_footprint(const ModelShape& shape, Strategy strategy,
+                                   const ClusterSpec& cluster, int nodes,
+                                   int mp) {
+  ZI_CHECK(nodes >= 1 && mp >= 1);
+  const double gpus = static_cast<double>(nodes) * cluster.gpus_per_node;
+  const double p = shape.params();
+  const double bsz = shape.batch();
+  const double global_batch = bsz * gpus;
+
+  // Residual/working memory seen by every GPU. Tensor slicing (mp) divides
+  // both the activations and the per-GPU slice of each operator.
+  const double awm = shape.awm_bytes(bsz) / mp;
+  const double local_ckpt = shape.act_ckpt_bytes(bsz) / mp;
+  // Memory-centric tiling (Sec. 5.1.3) bounds the gathered working set of
+  // the largest operator for the Infinity strategies; the paper's largest
+  // runs use a tiling factor of 16.
+  constexpr double kTilingFactor = 16.0;
+  const double mswm = shape.mswm_bytes() / mp;
+
+  MemoryFootprint f;
+  switch (strategy) {
+    case Strategy::kDataParallel:
+      // Everything replicated: 20 B/param on every GPU.
+      f.gpu_per_gpu = 20.0 * p + local_ckpt + awm;
+      break;
+    case Strategy::kZero2:
+      // fp16 params replicated; grads + optimizer partitioned.
+      f.gpu_per_gpu = p * (2.0 + 18.0 / gpus) + local_ckpt + awm;
+      break;
+    case Strategy::kZeroOffload:
+      // fp16 params replicated on GPU; partitioned grads + optimizer in
+      // CPU memory.
+      f.gpu_per_gpu = 2.0 * p + local_ckpt + awm;
+      f.cpu_per_node = 18.0 * p / nodes;
+      break;
+    case Strategy::kZero3:
+      // All model states partitioned across GPUs; the gathered largest
+      // operator (MSWM) must still fit.
+      f.gpu_per_gpu = 20.0 * p / gpus + mswm + local_ckpt + awm;
+      break;
+    case Strategy::kThreeD:
+      // Model states split by (mp × pp × dp) ≈ all GPUs; tensor slicing
+      // also divides the largest operator, so no MSWM term.
+      f.gpu_per_gpu = 20.0 * p / gpus + local_ckpt + awm;
+      break;
+    case Strategy::kZeroInfCpu:
+      // Model states + activation checkpoints in CPU memory; GPU holds
+      // only (tiled) working memory.
+      f.gpu_per_gpu = mswm / kTilingFactor + awm;
+      f.cpu_per_node = 20.0 * p / nodes + shape.act_ckpt_bytes(global_batch) / nodes;
+      break;
+    case Strategy::kZeroInfNvme:
+      // Model states on NVMe; activation checkpoints in CPU memory; GPU
+      // holds only (tiled) working memory.
+      f.gpu_per_gpu = mswm / kTilingFactor + awm;
+      f.cpu_per_node = shape.act_ckpt_bytes(global_batch) / nodes;
+      f.nvme_per_node = 20.0 * p / nodes;
+      break;
+  }
+
+  f.feasible = true;
+  if (f.gpu_per_gpu > static_cast<double>(cluster.gpu_mem)) {
+    f.feasible = false;
+    f.limiter = "GPU memory";
+  } else if (f.cpu_per_node > static_cast<double>(cluster.cpu_mem_per_node)) {
+    f.feasible = false;
+    f.limiter = "CPU memory";
+  } else if (f.nvme_per_node > static_cast<double>(cluster.nvme_per_node)) {
+    f.feasible = false;
+    f.limiter = "NVMe capacity";
+  }
+  return f;
+}
+
+double max_model_params(Strategy strategy, const ClusterSpec& cluster,
+                        int nodes) {
+  double lo = 1e8, hi = 1e15;
+  // Feasibility is monotone in parameter count (shapes scale by layers).
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    const ModelShape shape = shape_for_params(mid);
+    if (strategy_footprint(shape, strategy, cluster, nodes).feasible) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace zi::sim

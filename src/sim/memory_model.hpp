@@ -1,0 +1,110 @@
+// Memory-requirement model (Sec. 3, Eqs. 1-5) and the per-strategy
+// memory-capacity model behind Fig. 1, Fig. 2a, and Fig. 6a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/hw_model.hpp"
+
+namespace zi::sim {
+
+/// A GPT-like transformer shape (the paper's workload family).
+struct ModelShape {
+  std::int64_t layers = 0;       ///< nl
+  std::int64_t hidden = 0;       ///< hd
+  std::int64_t attn_heads = 0;
+  std::int64_t batch_per_gpu = 1;  ///< bsz per GPU (can be fractional-ish)
+  double batch_per_gpu_frac = 0;   ///< optional fractional override (Table 1
+                                   ///< uses 1.25 at 20T); 0 = use integer
+  std::int64_t seq = 1024;
+  std::int64_t ckpt_interval = 1;  ///< ci: blocks between act. checkpoints
+
+  double batch() const {
+    return batch_per_gpu_frac > 0 ? batch_per_gpu_frac
+                                  : static_cast<double>(batch_per_gpu);
+  }
+
+  /// Eq. (1): total parameters ≈ 12 · nl · hd².
+  double params() const {
+    return 12.0 * static_cast<double>(layers) * static_cast<double>(hidden) *
+           static_cast<double>(hidden);
+  }
+
+  /// Eq. (2): bytes of model states (fp16 param+grad, fp32 Adam states):
+  /// 20 bytes/param = 240 · nl · hd².
+  double model_state_bytes() const { return 20.0 * params(); }
+
+  /// Eq. (3): activation-checkpoint bytes for a *global* batch `bsz`:
+  /// 2 · bsz · seq · hd · nl / ci.
+  double act_ckpt_bytes(double global_batch) const {
+    return 2.0 * global_batch * static_cast<double>(seq) *
+           static_cast<double>(hidden) * static_cast<double>(layers) /
+           static_cast<double>(ckpt_interval);
+  }
+
+  /// Total (un-checkpointed) activation bytes for a global batch — the
+  /// AWM integrand of Eq. (5) summed over all layers.
+  double full_activation_bytes(double global_batch) const {
+    return awm_bytes(global_batch) * static_cast<double>(layers) /
+           static_cast<double>(ckpt_interval);
+  }
+
+  /// Eq. (4): model-state working memory of the largest operator:
+  /// 4 · hd · 4hd bytes.
+  double mswm_bytes() const {
+    return 16.0 * static_cast<double>(hidden) * static_cast<double>(hidden);
+  }
+
+  /// Eq. (5): activation working memory between two checkpoints:
+  /// bsz · seq · ci · (16·hd + 2·attn_heads·seq).
+  double awm_bytes(double batch) const {
+    return batch * static_cast<double>(seq) *
+           static_cast<double>(ckpt_interval) *
+           (16.0 * static_cast<double>(hidden) +
+            2.0 * static_cast<double>(attn_heads) * static_cast<double>(seq));
+  }
+};
+
+/// Construct a shape with roughly `target_params` parameters by scaling a
+/// reference aspect ratio (used for capacity sweeps).
+ModelShape shape_for_params(double target_params);
+
+/// The strategy taxonomy of Table 2 plus the 3D-parallelism baseline.
+enum class Strategy {
+  kDataParallel,
+  kZero2,
+  kZeroOffload,
+  kZero3,
+  kThreeD,          ///< Megatron-style 3D parallelism
+  kZeroInfCpu,
+  kZeroInfNvme,
+};
+
+const char* strategy_name(Strategy s);
+
+/// Breakdown of where one strategy puts each byte, per GPU / node.
+struct MemoryFootprint {
+  double gpu_per_gpu = 0;    ///< bytes that must fit in one GPU's HBM
+  double cpu_per_node = 0;   ///< bytes in one node's CPU memory
+  double nvme_per_node = 0;  ///< bytes in one node's NVMe
+  bool feasible = false;
+  std::string limiter;  ///< which tier binds when infeasible
+};
+
+/// Memory placement of model `shape` under `strategy` on `nodes` nodes of
+/// `cluster`. Includes model states (placed per Table 2), activation
+/// checkpoints (GPU, or CPU for the Infinity strategies), and working
+/// memory (always GPU).
+/// `mp` is the model-parallel degree: tensor slicing divides working
+/// memory and per-GPU activations by mp (Sec. 2).
+MemoryFootprint strategy_footprint(const ModelShape& shape, Strategy strategy,
+                                   const ClusterSpec& cluster, int nodes,
+                                   int mp = 1);
+
+/// Largest trainable parameter count for a strategy (binary search over
+/// proportional shapes) — the Fig. 1 / Fig. 6a measurement.
+double max_model_params(Strategy strategy, const ClusterSpec& cluster,
+                        int nodes);
+
+}  // namespace zi::sim

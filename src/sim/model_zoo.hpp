@@ -1,0 +1,38 @@
+// Catalog of every model/experiment configuration the paper reports:
+// Table 1 (main experiments) and appendix Tables 4-8 (per-figure configs).
+// Benches iterate these rows to regenerate each figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/timeline.hpp"
+
+namespace zi::sim {
+
+struct NamedConfig {
+  std::string label;   ///< e.g. "1T", "13B (ZeRO-Offload)"
+  double params = 0;   ///< nominal parameter count
+  SimConfig sim;
+};
+
+/// Table 1: the main experiment grid (1-node and 32-node rows, with the
+/// fp16-param / optimizer-state placements of the last two columns).
+std::vector<NamedConfig> table1_configs();
+
+/// Table 4 → Fig. 6a: single-node max-model-size study shapes.
+std::vector<NamedConfig> table4_configs();
+
+/// Table 5 → Fig. 6b: single-layer hidden-size study.
+std::vector<NamedConfig> table5_configs();
+
+/// Table 6 → Fig. 6c: 8B model, GPUs ∈ {4,16,32,64}.
+std::vector<NamedConfig> table6_configs();
+
+/// Table 7 → Fig. 6d: 8B model, 64 GPUs, batch ∈ {2,4,8,10,14,16}.
+std::vector<NamedConfig> table7_configs();
+
+/// Table 8 → Fig. 6e: hidden ∈ {2K,8K,16K,32K,64K}, 32/64 GPUs.
+std::vector<NamedConfig> table8_configs();
+
+}  // namespace zi::sim

@@ -1,0 +1,34 @@
+// Fixed-width ASCII table writer used by the figure/table benches so their
+// output reads like the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zi::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column-aligned padding and a header rule.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("=== Figure 5a ... ===").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace zi::sim

@@ -1,0 +1,277 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/efficiency.hpp"
+
+namespace zi::sim {
+
+namespace {
+
+/// A bandwidth resource with an availability horizon. schedule() occupies
+/// the channel for bytes/bw seconds starting no earlier than `ready`, and
+/// returns the completion time.
+struct Channel {
+  double bw = 1.0;  // bytes per second
+  double free_at = 0.0;
+
+  double schedule(double bytes, double ready) {
+    if (bytes <= 0.0) return ready;
+    const double start = std::max(free_at, ready);
+    free_at = start + bytes / bw;
+    return free_at;
+  }
+};
+
+Tier resolve_tier(SimConfig::TierOpt opt, Tier fallback) {
+  switch (opt) {
+    case SimConfig::TierOpt::kDefault: return fallback;
+    case SimConfig::TierOpt::kGpu: return Tier::kGpu;
+    case SimConfig::TierOpt::kCpu: return Tier::kCpu;
+    case SimConfig::TierOpt::kNvme: return Tier::kNvme;
+  }
+  return fallback;
+}
+
+struct Placements {
+  Tier param;
+  Tier opt;
+  Tier act;
+};
+
+Placements default_placements(Strategy s) {
+  switch (s) {
+    case Strategy::kDataParallel:
+    case Strategy::kZero2:
+    case Strategy::kZero3:
+    case Strategy::kThreeD:
+      return {Tier::kGpu, Tier::kGpu, Tier::kGpu};
+    case Strategy::kZeroOffload:
+      return {Tier::kGpu, Tier::kCpu, Tier::kGpu};
+    case Strategy::kZeroInfCpu:
+      return {Tier::kCpu, Tier::kCpu, Tier::kCpu};
+    case Strategy::kZeroInfNvme:
+      return {Tier::kNvme, Tier::kNvme, Tier::kCpu};
+  }
+  return {Tier::kGpu, Tier::kGpu, Tier::kGpu};
+}
+
+}  // namespace
+
+SimResult simulate_iteration(const SimConfig& config,
+                             const ClusterSpec& cluster) {
+  const ModelShape& m = config.model;
+  SimResult result;
+
+  // --- capacity check ------------------------------------------------------
+  const MemoryFootprint fp =
+      strategy_footprint(m, config.strategy, cluster, config.nodes, config.mp);
+  if (!fp.feasible) {
+    result.limiter = fp.limiter;
+    return result;
+  }
+  result.feasible = true;
+
+  const Placements def = default_placements(config.strategy);
+  const Tier param_tier = resolve_tier(config.param_tier, def.param);
+  const Tier opt_tier = resolve_tier(config.opt_tier, def.opt);
+  const Tier act_tier = resolve_tier(config.act_tier, def.act);
+
+  const double gpus = config.total_gpus(cluster);
+  const double bsz = m.batch();
+  const double params = m.params();
+  const double nl = static_cast<double>(m.layers);
+  const double layer_params = params / nl;
+  const double layer_bytes_fp16 = 2.0 * layer_params;
+  const double seq = static_cast<double>(m.seq);
+
+  // FLOPs per GPU per layer (Eq. 7 split across layers; the local batch is
+  // this GPU's share). Forward = 1 unit, backward = 2, recompute = 1.
+  const double fwd_flops_layer = 2.0 * bsz * seq * layer_params;
+
+  // --- channels (per-GPU view) ----------------------------------------------
+  // Slow-tier read bandwidth per GPU under bandwidth-centric partitioning:
+  // every rank pulls its 1/dp slice over its own links (Sec. 6.1). Under
+  // the broadcast-based scheme the full parameter funnels through one
+  // PCIe link, so the *effective* per-GPU bandwidth is pcie/dp.
+  auto slow_read_bw = [&](Tier tier) -> double {
+    switch (tier) {
+      case Tier::kGpu: return cluster.gpu_mem_bw;
+      case Tier::kCpu:
+        return config.bandwidth_centric ? cluster.cpu_bw_per_gpu_parallel
+                                        : cluster.pcie_bw_per_gpu / gpus;
+      case Tier::kNvme:
+        return config.bandwidth_centric ? cluster.nvme_bw_per_gpu_parallel
+                                        : cluster.pcie_bw_per_gpu / gpus;
+    }
+    return cluster.gpu_mem_bw;
+  };
+
+  Channel compute{cluster.peak_tp};
+  Channel nc{slow_read_bw(param_tier)};                    // NVMe/CPU → host
+  Channel cg{cluster.cpu_bw_per_gpu_parallel};             // host → GPU (PCIe)
+  // The GPU fabric is full-duplex: allgather (receive-dominated) and
+  // reduce-scatter (send-dominated) run on opposite directions, so they
+  // get independent channels — without this, each layer's parameter
+  // prefetch would falsely serialize behind the previous layer's gradient
+  // reduction.
+  Channel gg_in{cluster.gpu_gpu_bw};                       // allgather
+  Channel gg_out{cluster.gpu_gpu_bw};                      // reduce-scatter
+  Channel act_io{cluster.cpu_bw_per_gpu_parallel};         // ckpt offload PCIe
+
+  // Per-layer transfer volumes (per GPU).
+  const double shard_bytes = layer_bytes_fp16 / gpus;      // nc volume
+  const double gathered_bytes = layer_bytes_fp16 / config.mp;  // gg receive
+  const double ckpt_bytes = 2.0 * bsz * seq * m.hidden;    // per layer, local
+
+  // Gather pipeline for one layer: nc → cg → gg. Stages are skipped when
+  // the parameter already lives on a faster tier.
+  auto schedule_gather = [&](double ready) -> double {
+    double t = ready;
+    if (param_tier == Tier::kNvme) {
+      t = nc.schedule(shard_bytes, t);
+      t = cg.schedule(shard_bytes, t);
+    } else if (param_tier == Tier::kCpu) {
+      t = cg.schedule(shard_bytes, t);
+    }
+    // GPU-resident partitioned params skip straight to the allgather; for
+    // replicated strategies (DP/ZeRO-2/Offload) there is no gather at all.
+    const bool partitioned = config.strategy == Strategy::kZero3 ||
+                             config.strategy == Strategy::kThreeD ||
+                             config.strategy == Strategy::kZeroInfCpu ||
+                             config.strategy == Strategy::kZeroInfNvme;
+    if (partitioned) {
+      t = gg_in.schedule(gathered_bytes, t);
+    }
+    return t;
+  };
+
+  // --- forward pass ---------------------------------------------------------
+  const int layers = static_cast<int>(m.layers);
+  std::vector<double> fwd_compute_start(static_cast<std::size_t>(layers), 0.0);
+  double now = 0.0;
+  double stall = 0.0;
+  for (int l = 0; l < layers; ++l) {
+    // Prefetch window: the gather for layer l may start once layer
+    // (l - depth) started computing; without overlap it waits for the
+    // previous layer's compute to finish.
+    double ready;
+    if (!config.overlap) {
+      ready = now;
+    } else {
+      const int window = std::max(0, l - std::max(1, config.prefetch_depth));
+      ready = fwd_compute_start[static_cast<std::size_t>(window)];
+    }
+    const double gathered = schedule_gather(ready);
+    const double start = std::max(now, gathered);
+    stall += start - now;
+    fwd_compute_start[static_cast<std::size_t>(l)] = start;
+    now = compute.schedule(fwd_flops_layer, start);
+    // Activation checkpoint write-out (overlapped on its own channel; on
+    // the no-overlap path it extends the critical path).
+    if (act_tier != Tier::kGpu) {
+      const double done = act_io.schedule(ckpt_bytes, now);
+      if (!config.overlap) now = done;
+    }
+  }
+  // Trailing activation writes must land before backward reads them.
+  now = std::max(now, act_io.free_at);
+  result.fwd_time = now;
+
+  // --- backward pass --------------------------------------------------------
+  const double bwd_start = now;
+  const bool grads_partitioned = config.strategy != Strategy::kDataParallel;
+  std::vector<double> bwd_compute_start(static_cast<std::size_t>(layers), bwd_start);
+  for (int i = 0; i < layers; ++i) {  // reverse layer order, index abstractly
+    double ready;
+    if (!config.overlap) {
+      ready = now;
+    } else {
+      const int window = std::max(0, i - std::max(1, config.prefetch_depth));
+      ready = bwd_compute_start[static_cast<std::size_t>(window)];
+    }
+    double gathered = schedule_gather(ready);
+    // Checkpoint read-back before recompute.
+    if (act_tier != Tier::kGpu) {
+      const double ckpt_ready = act_io.schedule(ckpt_bytes, ready);
+      gathered = std::max(gathered, ckpt_ready);
+    }
+    const double start = std::max(now, gathered);
+    stall += start - now;
+    bwd_compute_start[static_cast<std::size_t>(i)] = start;
+    // Recompute (1x) + backward (2x).
+    now = compute.schedule(3.0 * fwd_flops_layer, start);
+
+    // Gradient reduce-scatter (fabric, send direction) + offload to the
+    // optimizer tier. Plain DDP allreduces (2x the volume).
+    const double reduced = gg_out.schedule(
+        grads_partitioned ? gathered_bytes : 2.0 * gathered_bytes, now);
+    double offloaded = reduced;
+    if (opt_tier != Tier::kGpu) {
+      if (config.bandwidth_centric) {
+        // Every rank streams its 1/dp grad slice over its own link.
+        offloaded = act_io.schedule(shard_bytes, reduced);
+      } else {
+        // ZeRO-Offload: layer-granular ownership — one PCIe link carries
+        // each layer's gradient, and the transfer does not overlap the
+        // next layer's compute well (Sec. 2's "suboptimal data
+        // partitioning and limited PCIe bandwidth").
+        now = std::max(now, reduced) +
+              layer_bytes_fp16 / cluster.pcie_bw_per_gpu;
+        offloaded = now;
+      }
+    }
+    if (!config.overlap) now = std::max(now, offloaded);
+  }
+  now = std::max({now, gg_out.free_at, act_io.free_at});
+  result.bwd_time = now - bwd_start;
+
+  // --- optimizer step (Sec. 5.2.2) ------------------------------------------
+  // 2 × 16 bytes/param of state movement (Eq. 10's volume) plus fp16
+  // param/grad traffic, all over this rank's 1/dp shard.
+  // DDP replicates the optimizer (every rank updates everything); all ZeRO
+  // stages partition it across ranks.
+  const double opt_elems = config.strategy == Strategy::kDataParallel
+                               ? params
+                               : params / gpus;
+  const double state_io_bytes = 2.0 * 16.0 * opt_elems + 4.0 * opt_elems;
+  double io_time = 0.0;
+  double compute_time = 0.0;
+  switch (opt_tier) {
+    case Tier::kGpu:
+      io_time = state_io_bytes / cluster.gpu_mem_bw;
+      compute_time = 6.0 * opt_elems / (cluster.peak_tp / 8.0);  // mem-bound
+      break;
+    case Tier::kCpu:
+      io_time = state_io_bytes / 100e9 * cluster.gpus_per_node;  // CPU DRAM bw
+      compute_time =
+          40.0 * opt_elems /
+          (cluster.cpu_flops_per_node / cluster.gpus_per_node);
+      break;
+    case Tier::kNvme:
+      io_time = state_io_bytes / cluster.nvme_bw_per_gpu_parallel;
+      compute_time =
+          40.0 * opt_elems /
+          (cluster.cpu_flops_per_node / cluster.gpus_per_node);
+      break;
+  }
+  // The infinity offload engine overlaps chunk reads, CPU compute, and
+  // writes; without overlap they serialize.
+  result.opt_time =
+      config.overlap ? std::max(io_time, compute_time) : io_time + compute_time;
+  now += result.opt_time;
+
+  result.iter_time = now;
+  result.param_stall = stall;
+  // Each GPU runs the full model over its local batch (data parallelism),
+  // so per-GPU FLOPs are Eq. 7 evaluated at the local batch size.
+  const double flops_per_gpu = computation_per_iter(bsz, seq, params);
+  result.tflops_per_gpu = flops_per_gpu / now / 1e12;
+  result.pflops_total = result.tflops_per_gpu * gpus / 1e3;
+  return result;
+}
+
+}  // namespace zi::sim

@@ -1,0 +1,69 @@
+// Iteration-timeline simulator — the performance model behind Figs. 1, 5
+// and 6c/6d/6e.
+//
+// Simulates one training iteration of a GPT-like model under a given
+// strategy/placement on the DGX-2 hardware model, from the perspective of
+// one GPU (the system is symmetric). Bandwidth resources are explicit
+// channels with availability times, so the overlap-centric design of
+// Sec. 6.2 appears directly:
+//
+//   * parameter gathers are the three-stage nc → cg → gg pipeline
+//     (NVMe→CPU, CPU→GPU over PCIe, allgather over the GPU fabric), each
+//     stage scheduled on its own channel;
+//   * with overlap on, the prefetcher starts layer i+1..i+depth transfers
+//     while layer i computes; with overlap off, every transfer serializes
+//     with compute (the Fig. 6d ablation);
+//   * bandwidth-centric partitioning (Sec. 6.1) makes the slow-tier read
+//     bandwidth scale with the data-parallel degree; the broadcast-based
+//     baseline (ZeRO-Offload) is pinned to a single PCIe link (Fig. 6c);
+//   * the optimizer step moves 2×16 bytes/param through the optimizer
+//     tier in chunks, overlapping reads/compute/writes (Sec. 5.2.2).
+#pragma once
+
+#include <string>
+
+#include "mem/accountant.hpp"
+#include "sim/hw_model.hpp"
+#include "sim/memory_model.hpp"
+
+namespace zi::sim {
+
+struct SimConfig {
+  ModelShape model;
+  Strategy strategy = Strategy::kZeroInfNvme;
+  int nodes = 1;
+  int mp = 1;  ///< model-parallel degree (Table 1 uses 4 or 8 at scale)
+
+  // Placement overrides (Table 1's fp16-param / optimizer-state columns).
+  // Defaults derived from the strategy when left as kDefault.
+  enum class TierOpt { kDefault, kGpu, kCpu, kNvme };
+  TierOpt param_tier = TierOpt::kDefault;
+  TierOpt opt_tier = TierOpt::kDefault;
+  /// Activation-checkpoint tier (kGpu = no offload).
+  TierOpt act_tier = TierOpt::kDefault;
+
+  bool overlap = true;      ///< communication/compute overlap + prefetching
+  int prefetch_depth = 3;
+  /// Bandwidth-centric partitioning (Sec. 6.1). false = broadcast-based
+  /// retrieval through a single PCIe link (the ZeRO-Offload data path).
+  bool bandwidth_centric = true;
+
+  int total_gpus(const ClusterSpec& c) const { return nodes * c.gpus_per_node; }
+};
+
+struct SimResult {
+  bool feasible = false;
+  std::string limiter;       ///< why infeasible (tier that overflows)
+  double iter_time = 0;      ///< seconds per iteration
+  double fwd_time = 0;
+  double bwd_time = 0;
+  double opt_time = 0;
+  double param_stall = 0;    ///< compute stall waiting on parameter gathers
+  double tflops_per_gpu = 0;
+  double pflops_total = 0;
+};
+
+SimResult simulate_iteration(const SimConfig& config,
+                             const ClusterSpec& cluster);
+
+}  // namespace zi::sim

@@ -1,0 +1,34 @@
+// Element types supported by the tensor library.
+//
+// Mixed-precision training (Sec. 2): fp16 for parameters and gradients in
+// transit/storage, fp32 for optimizer state and accumulation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/half.hpp"
+
+namespace zi {
+
+enum class DType : int { kF16 = 0, kF32 = 1 };
+
+constexpr std::size_t dtype_size(DType d) {
+  return d == DType::kF16 ? sizeof(half) : sizeof(float);
+}
+
+constexpr const char* dtype_name(DType d) {
+  return d == DType::kF16 ? "f16" : "f32";
+}
+
+template <typename T>
+struct dtype_of;
+template <>
+struct dtype_of<half> {
+  static constexpr DType value = DType::kF16;
+};
+template <>
+struct dtype_of<float> {
+  static constexpr DType value = DType::kF32;
+};
+
+}  // namespace zi

@@ -1,0 +1,320 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+// ---------------------------------------------------------------------------
+// GEMM. The i-k-j loop order keeps the inner loop streaming over contiguous
+// rows of B and C — the standard cache-friendly form for row-major data.
+// Model dimensions in the functional tests are small (hd <= 256), so no
+// further blocking is needed.
+
+void gemm(const float* a, const float* b, float* c, i64 m, i64 k, i64 n,
+          float alpha, float beta) {
+  for (i64 i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (i64 j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + i * k;
+    for (i64 p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, i64 m, i64 k, i64 n,
+             float alpha, float beta) {
+  // C[i][j] = sum_p A[i][p] * B[j][p] — both operands stream row-wise.
+  for (i64 i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (i64 j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (i64 p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, i64 m, i64 k, i64 n,
+             float alpha, float beta) {
+  // C[i][j] = sum_p A[p][i] * B[p][j].
+  for (i64 i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (i64 j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  for (i64 p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (i64 i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, i64 batch, i64 in, i64 out) {
+  gemm(x, w, y, batch, in, out);
+  if (bias != nullptr) {
+    for (i64 i = 0; i < batch; ++i) {
+      float* yrow = y + i * out;
+      for (i64 j = 0; j < out; ++j) yrow[j] += bias[j];
+    }
+  }
+}
+
+void linear_backward(const float* x, const float* w, const float* dy,
+                     float* dx, float* dw, float* dbias, i64 batch, i64 in,
+                     i64 out) {
+  if (dx != nullptr) {
+    // dx[B,in] = dy[B,out] · W[in,out]^T
+    gemm_nt(dy, w, dx, batch, out, in);
+  }
+  if (dw != nullptr) {
+    // dW[in,out] += x[B,in]^T · dy[B,out]
+    gemm_tn(x, dy, dw, in, batch, out, 1.0f, 1.0f);
+  }
+  if (dbias != nullptr) {
+    for (i64 i = 0; i < batch; ++i) {
+      const float* dyrow = dy + i * out;
+      for (i64 j = 0; j < out; ++j) dbias[j] += dyrow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GELU (tanh approximation)
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+void gelu_forward(const float* x, float* y, i64 n) {
+  for (i64 i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void gelu_backward(const float* x, const float* dy, float* dx, i64 n,
+                   bool accumulate) {
+  for (i64 i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float g = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    const float val = dy[i] * g;
+    dx[i] = accumulate ? dx[i] + val : val;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+
+void layernorm_forward(const float* x, const float* gamma, const float* beta,
+                       float* y, float* mean, float* rstd, i64 rows, i64 dim,
+                       float eps) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    float* yr = y + r * dim;
+    double m = 0.0;
+    for (i64 j = 0; j < dim; ++j) m += xr[j];
+    m /= static_cast<double>(dim);
+    double var = 0.0;
+    for (i64 j = 0; j < dim; ++j) {
+      const double d = xr[j] - m;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const float rs = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    mean[r] = static_cast<float>(m);
+    rstd[r] = rs;
+    for (i64 j = 0; j < dim; ++j) {
+      const float norm = (xr[j] - static_cast<float>(m)) * rs;
+      yr[j] = norm * gamma[j] + beta[j];
+    }
+  }
+}
+
+void layernorm_backward(const float* x, const float* gamma, const float* mean,
+                        const float* rstd, const float* dy, float* dx,
+                        float* dgamma, float* dbeta, i64 rows, i64 dim) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    const float* dyr = dy + r * dim;
+    float* dxr = dx + r * dim;
+    const float m = mean[r];
+    const float rs = rstd[r];
+
+    // Reductions over the row.
+    double sum_dy_g = 0.0;       // sum(dy * gamma)
+    double sum_dy_g_xhat = 0.0;  // sum(dy * gamma * xhat)
+    for (i64 j = 0; j < dim; ++j) {
+      const float xhat = (xr[j] - m) * rs;
+      const float dyg = dyr[j] * gamma[j];
+      sum_dy_g += dyg;
+      sum_dy_g_xhat += static_cast<double>(dyg) * xhat;
+      if (dgamma != nullptr) dgamma[j] += dyr[j] * xhat;
+      if (dbeta != nullptr) dbeta[j] += dyr[j];
+    }
+    const float c1 = static_cast<float>(sum_dy_g / static_cast<double>(dim));
+    const float c2 =
+        static_cast<float>(sum_dy_g_xhat / static_cast<double>(dim));
+    for (i64 j = 0; j < dim; ++j) {
+      const float xhat = (xr[j] - m) * rs;
+      const float dyg = dyr[j] * gamma[j];
+      dxr[j] = rs * (dyg - c1 - xhat * c2);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+
+void softmax_forward(const float* x, float* y, i64 rows, i64 dim) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    float* yr = y + r * dim;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (i64 j = 0; j < dim; ++j) mx = std::max(mx, xr[j]);
+    double sum = 0.0;
+    for (i64 j = 0; j < dim; ++j) {
+      const float e = std::exp(xr[j] - mx);
+      yr[j] = e;
+      sum += e;
+    }
+    const float inv = 1.0f / static_cast<float>(sum);
+    for (i64 j = 0; j < dim; ++j) yr[j] *= inv;
+  }
+}
+
+void softmax_backward(const float* y, const float* dy, float* dx, i64 rows,
+                      i64 dim) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* yr = y + r * dim;
+    const float* dyr = dy + r * dim;
+    float* dxr = dx + r * dim;
+    double dot = 0.0;
+    for (i64 j = 0; j < dim; ++j) dot += static_cast<double>(dyr[j]) * yr[j];
+    const float d = static_cast<float>(dot);
+    for (i64 j = 0; j < dim; ++j) dxr[j] = (dyr[j] - d) * yr[j];
+  }
+}
+
+void apply_causal_mask(float* scores, i64 rows) {
+  for (i64 r = 0; r < rows; ++r) {
+    float* row = scores + r * rows;
+    for (i64 c = r + 1; c < rows; ++c) {
+      row[c] = -std::numeric_limits<float>::infinity();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+
+void embedding_forward(const float* table, const std::int32_t* ids, float* y,
+                       i64 count, i64 dim) {
+  for (i64 i = 0; i < count; ++i) {
+    std::memcpy(y + i * dim, table + static_cast<i64>(ids[i]) * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+}
+
+void embedding_backward(const std::int32_t* ids, const float* dy,
+                        float* dtable, i64 count, i64 dim) {
+  for (i64 i = 0; i < count; ++i) {
+    float* drow = dtable + static_cast<i64>(ids[i]) * dim;
+    const float* dyrow = dy + i * dim;
+    for (i64 j = 0; j < dim; ++j) drow[j] += dyrow[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-entropy
+
+float cross_entropy_forward(const float* logits, const std::int32_t* targets,
+                            float* probs, i64 batch, i64 vocab) {
+  softmax_forward(logits, probs, batch, vocab);
+  double loss = 0.0;
+  for (i64 i = 0; i < batch; ++i) {
+    const float p = probs[i * vocab + targets[i]];
+    loss += -std::log(std::max(p, 1e-30f));
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+void cross_entropy_backward(const float* probs, const std::int32_t* targets,
+                            float* dlogits, i64 batch, i64 vocab,
+                            float scale) {
+  const float inv = scale / static_cast<float>(batch);
+  for (i64 i = 0; i < batch; ++i) {
+    const float* prow = probs + i * vocab;
+    float* drow = dlogits + i * vocab;
+    for (i64 j = 0; j < vocab; ++j) drow[j] = prow[j] * inv;
+    drow[targets[i]] -= inv;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  ZI_CHECK(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void scale_inplace(std::span<float> y, float s) {
+  for (float& v : y) v *= s;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  ZI_CHECK(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+double squared_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+float abs_max(std::span<const float> x) {
+  float best = 0.0f;
+  for (const float v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+bool has_nan_or_inf(std::span<const float> x) {
+  for (const float v : x) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace zi

@@ -1,0 +1,87 @@
+#include "tensor/tensor.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace zi {
+
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    ZI_CHECK_MSG(d >= 0, "negative dimension " << d);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, DType dtype)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)), dtype_(dtype) {
+  owned_.assign(static_cast<std::size_t>(numel_) * dtype_size(dtype_),
+                std::byte{0});
+  data_ = owned_.data();
+}
+
+Tensor Tensor::view(std::vector<std::int64_t> shape, DType dtype,
+                    std::byte* data) {
+  ZI_CHECK(data != nullptr || shape_numel(shape) == 0);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  t.dtype_ = dtype;
+  t.data_ = data;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_, dtype_);
+  std::memcpy(t.data_, data_, nbytes());
+  return t;
+}
+
+float Tensor::get(std::int64_t i) const {
+  ZI_CHECK_MSG(i >= 0 && i < numel_, "index " << i << " out of " << numel_);
+  if (dtype_ == DType::kF32) {
+    return reinterpret_cast<const float*>(data_)[i];
+  }
+  return reinterpret_cast<const half*>(data_)[i].to_float();
+}
+
+void Tensor::set(std::int64_t i, float v) {
+  ZI_CHECK_MSG(i >= 0 && i < numel_, "index " << i << " out of " << numel_);
+  if (dtype_ == DType::kF32) {
+    reinterpret_cast<float*>(data_)[i] = v;
+  } else {
+    reinterpret_cast<half*>(data_)[i] = half(v);
+  }
+}
+
+void Tensor::fill(float v) {
+  if (dtype_ == DType::kF32) {
+    float* p = reinterpret_cast<float*>(data_);
+    for (std::int64_t i = 0; i < numel_; ++i) p[i] = v;
+  } else {
+    half* p = reinterpret_cast<half*>(data_);
+    const half h(v);
+    for (std::int64_t i = 0; i < numel_; ++i) p[i] = h;
+  }
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  ZI_CHECK_MSG(src.dtype_ == dtype_ && src.numel_ == numel_,
+               "copy_from mismatch: " << src.to_string() << " into "
+                                      << to_string());
+  std::memcpy(data_, src.data_, nbytes());
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream os;
+  os << dtype_name(dtype_) << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace zi

@@ -1,0 +1,115 @@
+// Tensor — a contiguous, dense, move-only n-d array.
+//
+// Design notes:
+//   * Storage is either heap-owned or a view over externally managed memory
+//     (e.g. a gathered-parameter buffer living in a rank's DeviceArena);
+//     the ZeRO engine controls placement, the tensor only describes it.
+//   * Move-only with explicit clone(): accidental deep copies of model
+//     state are exactly the redundancy ZeRO exists to remove, so the type
+//     system makes them loud.
+//   * Element access is generic over DType through get()/set() for tests,
+//     and typed spans (data<T>()) for kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/dtype.hpp"
+
+namespace zi {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Owned zero-initialized tensor.
+  Tensor(std::vector<std::int64_t> shape, DType dtype);
+
+  /// Non-owning view over external memory of the right size.
+  static Tensor view(std::vector<std::int64_t> shape, DType dtype,
+                     std::byte* data);
+
+  static Tensor zeros(std::vector<std::int64_t> shape, DType dtype) {
+    return Tensor(std::move(shape), dtype);
+  }
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  /// Deep copy (owned storage).
+  Tensor clone() const;
+
+  bool defined() const noexcept { return data_ != nullptr; }
+  DType dtype() const noexcept { return dtype_; }
+  const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    ZI_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t ndim() const noexcept { return shape_.size(); }
+  std::int64_t numel() const noexcept { return numel_; }
+  std::size_t nbytes() const noexcept {
+    return static_cast<std::size_t>(numel_) * dtype_size(dtype_);
+  }
+
+  /// Typed element pointer; T must match dtype().
+  template <typename T>
+  T* data() {
+    ZI_CHECK_MSG(dtype_of<T>::value == dtype_,
+                 "dtype mismatch: tensor is " << dtype_name(dtype_));
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data() const {
+    ZI_CHECK_MSG(dtype_of<T>::value == dtype_,
+                 "dtype mismatch: tensor is " << dtype_name(dtype_));
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  template <typename T>
+  std::span<T> span() {
+    return {data<T>(), static_cast<std::size_t>(numel_)};
+  }
+  template <typename T>
+  std::span<const T> span() const {
+    return {data<T>(), static_cast<std::size_t>(numel_)};
+  }
+
+  std::span<std::byte> raw() {
+    return {data_, nbytes()};
+  }
+  std::span<const std::byte> raw() const {
+    return {data_, nbytes()};
+  }
+
+  /// Generic element read/write through float, regardless of dtype.
+  float get(std::int64_t i) const;
+  void set(std::int64_t i, float v);
+
+  /// Fill every element with v (cast to dtype).
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Copy raw bytes from another tensor of identical shape/dtype.
+  void copy_from(const Tensor& src);
+
+  /// "f32[4, 8]"
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+  DType dtype_ = DType::kF32;
+  std::byte* data_ = nullptr;
+  std::vector<std::byte> owned_;  // empty for views
+};
+
+/// Total element count of a shape.
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape);
+
+}  // namespace zi

@@ -1,0 +1,243 @@
+// AioEngine + NvmeStore tests: roundtrips, request splitting, async
+// completion, error propagation, extent management.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "aio/aio_engine.hpp"
+#include "aio/nvme_store.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mem/aligned.hpp"
+
+namespace zi {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("zi_aio_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> v(n);
+  Rng rng(seed, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>(rng.at(i) & 0xFF);
+  }
+  return v;
+}
+
+TEST_F(AioTest, WriteReadRoundtrip) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "a.bin");
+  const auto data = random_bytes(10000, 1);
+  engine.write(f, 0, data);
+  std::vector<std::byte> back(10000);
+  engine.read(f, 0, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(AioTest, OffsetReadWrite) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "b.bin");
+  const auto d1 = random_bytes(512, 2);
+  const auto d2 = random_bytes(512, 3);
+  engine.write(f, 0, d1);
+  engine.write(f, 100000, d2);
+  std::vector<std::byte> back(512);
+  engine.read(f, 100000, back);
+  EXPECT_EQ(back, d2);
+  engine.read(f, 0, back);
+  EXPECT_EQ(back, d1);
+}
+
+TEST_F(AioTest, LargeRequestSplitsIntoSubRequests) {
+  AioConfig cfg;
+  cfg.block_bytes = 64 * 1024;
+  cfg.num_workers = 4;
+  AioEngine engine(cfg);
+  AioFile* f = engine.open(dir_ / "c.bin");
+  const auto data = random_bytes(1 << 20, 4);  // 1 MiB = 16 blocks
+  engine.write(f, 0, data);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.sub_requests, 16u);
+  std::vector<std::byte> back(1 << 20);
+  engine.read(f, 0, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(AioTest, AsyncCompletionAndDrain) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "d.bin");
+  const auto data = random_bytes(256 * 1024, 5);
+  AioStatus w = engine.submit_write(f, 0, data);
+  w.wait();
+  EXPECT_TRUE(w.done());
+  std::vector<std::byte> back(256 * 1024);
+  AioStatus r = engine.submit_read(f, 0, back);
+  engine.drain();  // explicit flush: everything outstanding completes
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(AioTest, ManyConcurrentRequestsKeepIntegrity) {
+  AioConfig cfg;
+  cfg.num_workers = 8;
+  cfg.block_bytes = 4096;
+  AioEngine engine(cfg);
+  AioFile* f = engine.open(dir_ / "e.bin");
+  constexpr int kN = 32;
+  constexpr std::size_t kLen = 16 * 1024;
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<AioStatus> statuses;
+  for (int i = 0; i < kN; ++i) {
+    payloads.push_back(random_bytes(kLen, 100 + static_cast<unsigned>(i)));
+  }
+  for (int i = 0; i < kN; ++i) {
+    statuses.push_back(
+        engine.submit_write(f, static_cast<std::uint64_t>(i) * kLen, payloads[static_cast<size_t>(i)]));
+  }
+  for (auto& s : statuses) s.wait();
+  for (int i = 0; i < kN; ++i) {
+    std::vector<std::byte> back(kLen);
+    engine.read(f, static_cast<std::uint64_t>(i) * kLen, back);
+    EXPECT_EQ(back, payloads[static_cast<size_t>(i)]) << "slot " << i;
+  }
+}
+
+TEST_F(AioTest, ReadPastEofIsAnError) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "f.bin");
+  const auto data = random_bytes(100, 6);
+  engine.write(f, 0, data);
+  std::vector<std::byte> back(200);
+  EXPECT_THROW(engine.read(f, 50, back), IoError);
+}
+
+TEST_F(AioTest, OpenFailureThrows) {
+  AioEngine engine;
+  EXPECT_THROW(engine.open(dir_ / "no_such_dir" / "x.bin"), IoError);
+}
+
+TEST_F(AioTest, EmptyRequestCompletesImmediately) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "g.bin");
+  AioStatus s = engine.submit_write(f, 0, std::span<const std::byte>{});
+  EXPECT_TRUE(s.done());
+  s.wait();
+}
+
+TEST_F(AioTest, ODirectRequestedFallsBackGracefully) {
+  AioConfig cfg;
+  cfg.try_odirect = true;
+  AioEngine engine(cfg);
+  AioFile* f = engine.open(dir_ / "h.bin");
+  // Aligned buffer + aligned size: eligible for O_DIRECT where supported.
+  AlignedBuffer buf = allocate_aligned(2 * kIoAlignment);
+  std::memset(buf.get(), 0x77, 2 * kIoAlignment);
+  engine.write(f, 0, {buf.get(), 2 * kIoAlignment});
+  AlignedBuffer back = allocate_aligned(2 * kIoAlignment);
+  engine.read(f, 0, {back.get(), 2 * kIoAlignment});
+  EXPECT_EQ(std::memcmp(buf.get(), back.get(), 2 * kIoAlignment), 0);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.direct_ops + s.buffered_ops, s.sub_requests);
+}
+
+TEST_F(AioTest, FileResizeAndSize) {
+  AioEngine engine;
+  AioFile* f = engine.open(dir_ / "i.bin");
+  EXPECT_EQ(f->size(), 0u);
+  f->resize(12345);
+  EXPECT_EQ(f->size(), 12345u);
+}
+
+// ---------------------------------------------------------------------------
+// NvmeStore
+
+TEST_F(AioTest, NvmeStoreRoundtrip) {
+  AioEngine engine;
+  NvmeStore store(engine, dir_ / "swap.bin", 1 << 20);
+  Extent e = store.allocate(5000);
+  const auto data = random_bytes(5000, 7);
+  store.write(e, data);
+  std::vector<std::byte> back(5000);
+  store.read(e, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(AioTest, NvmeStoreAsyncOverlap) {
+  AioEngine engine;
+  NvmeStore store(engine, dir_ / "swap2.bin", 1 << 22);
+  Extent e1 = store.allocate(100000);
+  Extent e2 = store.allocate(100000);
+  const auto d1 = random_bytes(100000, 8);
+  const auto d2 = random_bytes(100000, 9);
+  AioStatus w1 = store.write_async(e1, d1);
+  AioStatus w2 = store.write_async(e2, d2);
+  w1.wait();
+  w2.wait();
+  std::vector<std::byte> b1(100000), b2(100000);
+  AioStatus r1 = store.read_async(e1, b1);
+  AioStatus r2 = store.read_async(e2, b2);
+  r1.wait();
+  r2.wait();
+  EXPECT_EQ(b1, d1);
+  EXPECT_EQ(b2, d2);
+}
+
+TEST_F(AioTest, NvmeStoreExhaustionAndReuse) {
+  AioEngine engine;
+  NvmeStore store(engine, dir_ / "swap3.bin", 64 * 1024);
+  std::vector<Extent> extents;
+  EXPECT_THROW(
+      {
+        for (;;) extents.push_back(store.allocate(8 * 1024));
+      },
+      OutOfMemoryError);
+  const auto used_before = store.used();
+  extents.clear();  // RAII frees all extents
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_GT(used_before, 0u);
+  Extent again = store.allocate(32 * 1024);
+  EXPECT_TRUE(again.valid());
+}
+
+TEST_F(AioTest, NvmeStoreRejectsOversizeTransfer) {
+  AioEngine engine;
+  NvmeStore store(engine, dir_ / "swap4.bin", 1 << 20);
+  Extent e = store.allocate(1000);
+  std::vector<std::byte> big(1 << 19);
+  EXPECT_THROW(store.write(e, big), Error);
+}
+
+TEST_F(AioTest, ExtentsDoNotOverlap) {
+  AioEngine engine;
+  NvmeStore store(engine, dir_ / "swap5.bin", 1 << 20);
+  Extent a = store.allocate(10000);
+  Extent b = store.allocate(10000);
+  const bool disjoint = a.offset() + a.size() <= b.offset() ||
+                        b.offset() + b.size() <= a.offset();
+  EXPECT_TRUE(disjoint);
+  // Writing one must not disturb the other.
+  const auto da = random_bytes(10000, 10);
+  const auto db = random_bytes(10000, 11);
+  store.write(a, da);
+  store.write(b, db);
+  std::vector<std::byte> back(10000);
+  store.read(a, back);
+  EXPECT_EQ(back, da);
+}
+
+}  // namespace
+}  // namespace zi

@@ -1,0 +1,157 @@
+// DeviceArena tests: allocation, fragmentation, coalescing, OOM taxonomy,
+// and the Fig. 6b pre-fragmentation protocol.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "mem/arena.hpp"
+
+namespace zi {
+namespace {
+
+TEST(Arena, AllocateAndUse) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kReal);
+  ArenaBlock b = arena.allocate(1000);
+  ASSERT_TRUE(b.valid());
+  ASSERT_NE(b.data(), nullptr);
+  std::memset(b.data(), 0xAB, b.size());
+  EXPECT_GE(b.size(), 1000u);
+  EXPECT_EQ(arena.used(), b.size());
+}
+
+TEST(Arena, ReleaseReturnsMemory) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kReal);
+  {
+    ArenaBlock b = arena.allocate(64 * kKiB);
+    EXPECT_GT(arena.used(), 0u);
+  }
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.largest_free_block(), arena.capacity());
+}
+
+TEST(Arena, MoveSemantics) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kReal);
+  ArenaBlock a = arena.allocate(128);
+  ArenaBlock b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_TRUE(b.valid());
+  b.release();
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, CapacityOomThrows) {
+  DeviceArena arena("gpu0", 64 * kKiB, DeviceArena::Mode::kReal);
+  EXPECT_THROW(arena.allocate(128 * kKiB), OutOfMemoryError);
+  EXPECT_EQ(arena.stats().oom_capacity, 1u);
+  EXPECT_EQ(arena.stats().oom_contiguity, 0u);
+}
+
+TEST(Arena, FragmentationCausesContiguityOom) {
+  // Fill with alternating blocks, free every other one: plenty of total
+  // free space but no large contiguous span.
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  std::vector<ArenaBlock> keep;
+  std::vector<ArenaBlock> drop;
+  for (int i = 0; i < 8; ++i) {
+    auto& dst = (i % 2 == 0) ? drop : keep;
+    dst.push_back(arena.allocate(128 * kKiB, 1));
+  }
+  drop.clear();  // free 512 KiB in 4 non-adjacent 128 KiB holes
+  EXPECT_EQ(arena.free_bytes(), 512 * kKiB);
+  EXPECT_EQ(arena.largest_free_block(), 128 * kKiB);
+  EXPECT_THROW(arena.allocate(256 * kKiB, 1), OutOfMemoryError);
+  EXPECT_EQ(arena.stats().oom_contiguity, 1u);
+}
+
+TEST(Arena, FreeCoalescesNeighbors) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  ArenaBlock a = arena.allocate(100 * kKiB, 1);
+  ArenaBlock b = arena.allocate(100 * kKiB, 1);
+  ArenaBlock c = arena.allocate(100 * kKiB, 1);
+  b.release();
+  a.release();  // must merge with b's hole
+  // a+b coalesced: a 200 KiB allocation fits in front of c.
+  ArenaBlock big = arena.allocate(200 * kKiB, 1);
+  EXPECT_EQ(big.offset(), 0u);
+  c.release();
+}
+
+TEST(Arena, AlignmentRespected) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kReal);
+  ArenaBlock a = arena.allocate(3, 256);
+  ArenaBlock b = arena.allocate(5, 4096);
+  EXPECT_EQ(a.offset() % 256, 0u);
+  EXPECT_EQ(b.offset() % 4096, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 4096, 0u);
+}
+
+TEST(Arena, PeakTracksHighWater) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  {
+    ArenaBlock a = arena.allocate(300 * kKiB, 1);
+    ArenaBlock b = arena.allocate(300 * kKiB, 1);
+  }
+  ArenaBlock c = arena.allocate(10 * kKiB, 1);
+  EXPECT_EQ(arena.stats().peak_used, 600 * kKiB);
+}
+
+TEST(Arena, VirtualModeSupportsHugeCapacity) {
+  // 32 GiB "GPU" bookkeeping on a small host — the Fig. 6b vehicle.
+  DeviceArena arena("v100", 32 * kGiB, DeviceArena::Mode::kVirtual);
+  ArenaBlock big = arena.allocate(30 * kGiB);
+  EXPECT_EQ(big.data(), nullptr);
+  EXPECT_GE(big.size(), 30 * kGiB);
+  EXPECT_THROW(arena.allocate(4 * kGiB), OutOfMemoryError);
+}
+
+TEST(Arena, PrefragmentEnforcesMaxContiguousChunk) {
+  // The paper's protocol: pre-fragment into 2 GB chunks so any allocation
+  // larger than 2 GB fails even though total memory is plentiful.
+  DeviceArena arena("v100", 32 * kGiB, DeviceArena::Mode::kVirtual);
+  arena.prefragment(2 * kGiB);
+  EXPECT_THROW(arena.allocate(2 * kGiB + kMiB), OutOfMemoryError);
+  EXPECT_EQ(arena.stats().oom_contiguity, 1u);
+  // At-most-chunk-sized allocations succeed, and many of them fit.
+  std::vector<ArenaBlock> blocks;
+  for (int i = 0; i < 15; ++i) blocks.push_back(arena.allocate(2 * kGiB, 1));
+}
+
+TEST(Arena, PrefragmentRequiresEmptyArena) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  ArenaBlock a = arena.allocate(100);
+  EXPECT_THROW(arena.prefragment(64 * kKiB), Error);
+}
+
+TEST(Arena, StatsCountAllocsAndFrees) {
+  DeviceArena arena("gpu0", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  {
+    ArenaBlock a = arena.allocate(100);
+    ArenaBlock b = arena.allocate(100);
+  }
+  const auto s = arena.stats();
+  EXPECT_EQ(s.num_allocs, 2u);
+  EXPECT_EQ(s.num_frees, 2u);
+  EXPECT_EQ(s.live_blocks, 0u);
+}
+
+TEST(Arena, ExhaustiveFillThenFullReuse) {
+  // Property: allocating until OOM, freeing everything, and re-allocating
+  // works — the free list coalesces back to one span.
+  DeviceArena arena("gpu0", 256 * kKiB, DeviceArena::Mode::kVirtual);
+  std::vector<ArenaBlock> blocks;
+  try {
+    for (;;) blocks.push_back(arena.allocate(10 * kKiB, 1));
+  } catch (const OutOfMemoryError&) {
+  }
+  EXPECT_GE(blocks.size(), 25u);
+  blocks.clear();
+  EXPECT_EQ(arena.largest_free_block(), arena.capacity());
+  ArenaBlock all = arena.allocate(256 * kKiB, 1);
+  EXPECT_TRUE(all.valid());
+}
+
+}  // namespace
+}  // namespace zi

@@ -1,0 +1,275 @@
+// ParamCoordinator tests: gather correctness, release semantics, the
+// operator-sequence trace, prefetching, and gradient reduce-scatter — run
+// inside a real multi-rank world.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "comm/world.hpp"
+#include "core/coordinator.hpp"
+#include "model/linear.hpp"
+#include "model/local_store.hpp"
+
+namespace zi {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("zi_coord_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  EngineConfig nvme_config() const {
+    EngineConfig cfg;
+    cfg.stage = ZeroStage::kStage3;
+    cfg.param_placement = Placement::kNvme;
+    cfg.optimizer_placement = Placement::kCpu;
+    cfg.grad_placement = Placement::kCpu;
+    cfg.nvme_dir = dir_.string();
+    return cfg;
+  }
+
+  fs::path dir_;
+};
+
+struct TwoLinears : public Module {
+  TwoLinears() : Module("m") {
+    a = std::make_unique<Linear>("m.a", 4, 4);
+    b = std::make_unique<Linear>("m.b", 4, 4);
+    register_child(a.get());
+    register_child(b.get());
+  }
+  Tensor forward(const Tensor& x) override {
+    return b->run_forward(a->run_forward(x));
+  }
+  Tensor backward(const Tensor& dy) override {
+    return a->run_backward(b->run_backward(dy));
+  }
+  std::unique_ptr<Linear> a, b;
+};
+
+TEST_F(CoordinatorTest, GatherMaterializesExactInitValues) {
+  AioEngine aio;
+  const EngineConfig cfg = nvme_config();
+  run_ranks(3, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 3);
+    ParamCoordinator coord(store, res, comm, cfg);
+
+    Parameter* w = model.a->weight();
+    EXPECT_EQ(w->status(), Parameter::Status::kNotAvailable);
+    coord.fetch(w, /*for_backward=*/false);
+    EXPECT_EQ(w->status(), Parameter::Status::kAvailable);
+    // Gathered fp32 values = fp16-rounded deterministic init.
+    for (std::int64_t i = 0; i < w->numel(); ++i) {
+      EXPECT_EQ(w->full_tensor().get(i), half(w->init_value(i)).to_float());
+    }
+    coord.release(w);
+    EXPECT_EQ(w->status(), Parameter::Status::kNotAvailable);
+    EXPECT_FALSE(w->full_tensor().defined());
+  });
+}
+
+TEST_F(CoordinatorTest, ReleaseReturnsArenaMemory) {
+  AioEngine aio;
+  const EngineConfig cfg = nvme_config();
+  run_ranks(2, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+    const auto baseline = res.gpu().used();
+    for (Parameter* p : model.all_parameters()) coord.fetch(p, false);
+    EXPECT_GT(res.gpu().used(), baseline);
+    for (Parameter* p : model.all_parameters()) coord.release(p);
+    EXPECT_EQ(res.gpu().used(), baseline);
+  });
+}
+
+TEST_F(CoordinatorTest, HooksDriveFullForwardBackwardCycle) {
+  AioEngine aio;
+  const EngineConfig cfg = nvme_config();
+  run_ranks(2, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+    coord.install(model);
+    coord.begin_iteration();
+
+    Tensor x({2, 4}, DType::kF32);
+    x.fill(0.5f);
+    Tensor y = model.forward(x);  // children via run_forward → hooks fire
+    Tensor dy({2, 4}, DType::kF32);
+    dy.fill(1.0f);
+    model.backward(dy);
+
+    // Post-backward: everything released, all grads reduced and stored.
+    for (Parameter* p : model.all_parameters()) {
+      EXPECT_EQ(p->status(), Parameter::Status::kNotAvailable) << p->name();
+      EXPECT_FALSE(p->grad_tensor().defined()) << p->name();
+    }
+    EXPECT_EQ(coord.stats().grads_reduced, 4u);
+    EXPECT_EQ(res.gpu().used(), 0u);
+  });
+}
+
+TEST_F(CoordinatorTest, PrefetchKicksInAfterFirstIteration) {
+  AioEngine aio;
+  EngineConfig cfg = nvme_config();
+  cfg.prefetch_depth = 2;
+  cfg.overlap_transfers = true;
+  run_ranks(2, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+    coord.install(model);
+
+    auto one_pass = [&] {
+      coord.begin_iteration();
+      Tensor x({1, 4}, DType::kF32);
+      x.fill(1.0f);
+      Tensor y = model.forward(x);
+      Tensor dy({1, 4}, DType::kF32);
+      dy.fill(1.0f);
+      model.backward(dy);
+    };
+
+    one_pass();  // records the trace
+    EXPECT_EQ(coord.stats().prefetch_hits, 0u);
+    one_pass();  // replays it with prefetching
+    EXPECT_GT(coord.stats().prefetches_issued, 0u);
+    EXPECT_GT(coord.stats().prefetch_hits, 0u);
+    EXPECT_EQ(coord.stats().trace_invalidations, 0u);
+  });
+}
+
+TEST_F(CoordinatorTest, PrefetchDisabledWhenOverlapOff) {
+  AioEngine aio;
+  EngineConfig cfg = nvme_config();
+  cfg.overlap_transfers = false;
+  run_ranks(2, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+    coord.install(model);
+    for (int iter = 0; iter < 3; ++iter) {
+      coord.begin_iteration();
+      Tensor x({1, 4}, DType::kF32);
+      x.fill(1.0f);
+      Tensor y = model.forward(x);
+      Tensor dy({1, 4}, DType::kF32);
+      dy.fill(1.0f);
+      model.backward(dy);
+    }
+    EXPECT_EQ(coord.stats().prefetches_issued, 0u);
+  });
+}
+
+TEST_F(CoordinatorTest, DynamicWorkflowInvalidatesTrace) {
+  // Iteration 1 fetches a then b; iteration 2 fetches b then a. The
+  // coordinator must detect the divergence and re-record (Sec. 6.2).
+  AioEngine aio;
+  EngineConfig cfg = nvme_config();
+  cfg.prefetch_depth = 2;
+  run_ranks(2, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, model.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+
+    auto fetch_release = [&](Linear& lin) {
+      for (const auto& p : lin.own_parameters()) coord.fetch(p.get(), false);
+      for (const auto& p : lin.own_parameters()) coord.release(p.get());
+    };
+
+    coord.begin_iteration();
+    fetch_release(*model.a);
+    fetch_release(*model.b);
+    coord.begin_iteration();
+    fetch_release(*model.b);  // diverges from the recorded trace
+    fetch_release(*model.a);
+    EXPECT_GT(coord.stats().trace_invalidations, 0u);
+    // Third iteration follows the new trace cleanly.
+    const auto invalidations = coord.stats().trace_invalidations;
+    coord.begin_iteration();
+    fetch_release(*model.b);
+    fetch_release(*model.a);
+    EXPECT_EQ(coord.stats().trace_invalidations, invalidations);
+  });
+}
+
+TEST_F(CoordinatorTest, GradReduceScatterSumsAcrossRanks) {
+  AioEngine aio;
+  const EngineConfig cfg = nvme_config();
+  run_ranks(2, [&](Communicator& comm) {
+    Linear lin("lin", 2, 2);
+    lin.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, lin.all_parameters(), comm.rank(), 2);
+    ParamCoordinator coord(store, res, comm, cfg);
+    coord.install(lin);
+    coord.begin_iteration();
+
+    // Distinct inputs per rank; grads must equal the rank-sum.
+    Tensor x({1, 2}, DType::kF32);
+    x.set(0, comm.rank() == 0 ? 1.0f : 3.0f);
+    x.set(1, 0.0f);
+    Tensor y = lin.run_forward(x);
+    Tensor dy({1, 2}, DType::kF32);
+    dy.fill(1.0f);
+    lin.run_backward(dy);
+
+    // dW[0][j] = x[0] * dy[j] summed over ranks = (1 + 3) = 4.
+    Parameter* w = lin.weight();
+    const ShardSpec& spec = store.param_spec(w);
+    std::vector<half> shard(static_cast<std::size_t>(spec.shard_elems));
+    store.load_grad_shard(w, shard);
+    // w shape [2,2] → flat [w00, w01, w10, w11]; rank 0 holds {w00, w01}.
+    if (comm.rank() == 0) {
+      EXPECT_EQ(shard[0].to_float(), 4.0f);
+      EXPECT_EQ(shard[1].to_float(), 4.0f);
+    } else {
+      EXPECT_EQ(shard[0].to_float(), 0.0f);  // x[1] = 0 on both ranks
+      EXPECT_EQ(shard[1].to_float(), 0.0f);
+    }
+  });
+}
+
+TEST_F(CoordinatorTest, RequiresStageThree) {
+  AioEngine aio;
+  EngineConfig cfg = nvme_config();
+  cfg.stage = ZeroStage::kStage2;
+  run_ranks(1, [&](Communicator& comm) {
+    Linear lin("lin", 2, 2);
+    lin.finalize();
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, lin.all_parameters(), comm.rank(), 1);
+    EXPECT_THROW(ParamCoordinator(store, res, comm, cfg), Error);
+  });
+}
+
+}  // namespace
+}  // namespace zi

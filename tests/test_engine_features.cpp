@@ -1,0 +1,471 @@
+// Tests for engine extensions: gradient accumulation, universal
+// checkpointing (cross-strategy save/restore), eval mode, and the
+// small-parameter persistence threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/engine.hpp"
+#include "model/gpt.hpp"
+
+namespace zi {
+namespace {
+
+namespace fs = std::filesystem;
+
+GptConfig tiny_model() {
+  GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.seq = 8;
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  return cfg;
+}
+
+void make_batch(int rank, int salt, const GptConfig& cfg, int batch,
+                std::vector<std::int32_t>& tokens,
+                std::vector<std::int32_t>& targets) {
+  const std::int64_t n = batch * cfg.seq;
+  tokens.resize(static_cast<std::size_t>(n));
+  targets.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t v = (rank * 31 + salt * 7 + i * 3) % (cfg.vocab - 1);
+    tokens[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(v);
+    targets[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>((v * 3 + 3) % (cfg.vocab - 1));
+  }
+}
+
+class EngineFeatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("zi_feat_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Gradient accumulation
+
+// Accumulated micro-batches remain an exact transformation: DDP and
+// ZeRO-Infinity-NVMe produce bit-identical trajectories when both
+// accumulate the same k micro-batches.
+TEST_F(EngineFeatureTest, AccumulationPreservesStrategyExactness) {
+  const GptConfig mc = tiny_model();
+  constexpr int kWorld = 2;
+  constexpr int kSteps = 3;
+  constexpr int kMicros = 3;
+
+  auto run = [&](EngineConfig cfg, const fs::path& d) {
+    cfg.nvme_dir = d.string();
+    std::vector<float> losses;
+    AioEngine aio;
+    run_ranks(kWorld, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::vector<std::int32_t>> toks(kMicros), tgts(kMicros);
+      for (int s = 0; s < kSteps; ++s) {
+        std::vector<ZeroEngine::MicroBatch> micros;
+        for (int m = 0; m < kMicros; ++m) {
+          make_batch(comm.rank(), s * kMicros + m, mc, 1,
+                     toks[static_cast<std::size_t>(m)],
+                     tgts[static_cast<std::size_t>(m)]);
+          micros.push_back({toks[static_cast<std::size_t>(m)],
+                            tgts[static_cast<std::size_t>(m)]});
+        }
+        const auto st = engine.train_step(micros);
+        if (comm.rank() == 0) losses.push_back(st.global_loss);
+      }
+    });
+    return losses;
+  };
+
+  const auto ddp = run(preset_data_parallel(), dir_ / "ddp");
+  const auto inf = run(preset_zero_infinity_nvme(), dir_ / "inf");
+  ASSERT_EQ(ddp.size(), inf.size());
+  for (std::size_t i = 0; i < ddp.size(); ++i) {
+    EXPECT_EQ(ddp[i], inf[i]) << "step " << i;
+  }
+}
+
+// k accumulated micro-batches of size b approximate one batch of size k·b
+// (same data): trajectories stay close (they differ only in fp16 rounding
+// points of the gradient reduction).
+TEST_F(EngineFeatureTest, AccumulationApproximatesLargeBatch) {
+  const GptConfig mc = tiny_model();
+  EngineConfig cfg = preset_zero3();
+  cfg.adam.lr = 5e-3f;
+  cfg.loss_scale.init_scale = 1024.0f;
+  cfg.nvme_dir = (dir_ / "a").string();
+
+  std::vector<float> accumulated, large;
+  AioEngine aio;
+  run_ranks(2, [&](Communicator& comm) {
+    // Run A: 2 micro-batches of batch 1.
+    {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> t0, g0, t1, g1;
+      make_batch(comm.rank(), 0, mc, 1, t0, g0);
+      make_batch(comm.rank(), 1, mc, 1, t1, g1);
+      const ZeroEngine::MicroBatch micros[] = {{t0, g0}, {t1, g1}};
+      for (int s = 0; s < 4; ++s) {
+        const auto st = engine.train_step(micros);
+        if (comm.rank() == 0) accumulated.push_back(st.global_loss);
+      }
+    }
+    comm.barrier();
+    // Run B: one batch of 2 containing the same sequences.
+    {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> t0, g0, t1, g1;
+      make_batch(comm.rank(), 0, mc, 1, t0, g0);
+      make_batch(comm.rank(), 1, mc, 1, t1, g1);
+      std::vector<std::int32_t> tokens(t0), targets(g0);
+      tokens.insert(tokens.end(), t1.begin(), t1.end());
+      targets.insert(targets.end(), g1.begin(), g1.end());
+      for (int s = 0; s < 4; ++s) {
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) large.push_back(st.global_loss);
+      }
+    }
+  });
+  ASSERT_EQ(accumulated.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(accumulated[i], large[i], 0.01f) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Universal checkpointing
+
+// THE cross-strategy property: train under DDP, checkpoint, restore into a
+// ZeRO-Infinity-NVMe engine with different placement, and the continued
+// trajectory is IDENTICAL to never having stopped.
+TEST_F(EngineFeatureTest, CheckpointRoundTripsAcrossStrategies) {
+  const GptConfig mc = tiny_model();
+  constexpr int kWorld = 2;
+  const std::string ckpt = (dir_ / "ckpt.bin").string();
+
+  auto step_loss = [&](ZeroEngine& engine, Communicator& comm, int salt) {
+    std::vector<std::int32_t> tokens, targets;
+    make_batch(comm.rank(), salt, mc, 2, tokens, targets);
+    return engine.train_step(tokens, targets).global_loss;
+  };
+
+  // Reference: 6 uninterrupted DDP steps.
+  std::vector<float> reference;
+  {
+    EngineConfig cfg = preset_data_parallel();
+    cfg.nvme_dir = (dir_ / "ref").string();
+    AioEngine aio;
+    run_ranks(kWorld, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      for (int s = 0; s < 6; ++s) {
+        const float l = step_loss(engine, comm, s);
+        if (comm.rank() == 0) reference.push_back(l);
+      }
+    });
+  }
+
+  // Interrupted: 3 DDP steps, save, restore into ZeRO-Inf-NVMe, 3 more.
+  std::vector<float> resumed;
+  {
+    EngineConfig cfg = preset_data_parallel();
+    cfg.nvme_dir = (dir_ / "phase1").string();
+    AioEngine aio;
+    run_ranks(kWorld, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      for (int s = 0; s < 3; ++s) {
+        const float l = step_loss(engine, comm, s);
+        if (comm.rank() == 0) resumed.push_back(l);
+      }
+      engine.save_checkpoint(ckpt);
+    });
+  }
+  {
+    EngineConfig cfg = preset_zero_infinity_nvme();
+    cfg.nvme_dir = (dir_ / "phase2").string();
+    AioEngine aio;
+    run_ranks(kWorld, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      engine.load_checkpoint(ckpt);
+      EXPECT_EQ(engine.steps(), 3);
+      for (int s = 3; s < 6; ++s) {
+        const float l = step_loss(engine, comm, s);
+        if (comm.rank() == 0) resumed.push_back(l);
+      }
+    });
+  }
+
+  ASSERT_EQ(reference.size(), 6u);
+  ASSERT_EQ(resumed.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(resumed[i], reference[i]) << "step " << i;
+  }
+}
+
+TEST_F(EngineFeatureTest, CheckpointSurvivesWorldSizeChange) {
+  const GptConfig mc = tiny_model();
+  const std::string ckpt = (dir_ / "w.bin").string();
+  // Save from a 3-rank ZeRO-3 run...
+  {
+    EngineConfig cfg = preset_zero3();
+    cfg.nvme_dir = (dir_ / "w3").string();
+    AioEngine aio;
+    run_ranks(3, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> tokens, targets;
+      make_batch(comm.rank(), 0, mc, 1, tokens, targets);
+      engine.train_step(tokens, targets);
+      engine.save_checkpoint(ckpt);
+    });
+  }
+  // ...restore into a single-rank Inf-CPU engine and keep training.
+  {
+    EngineConfig cfg = preset_zero_infinity_cpu();
+    cfg.nvme_dir = (dir_ / "w1").string();
+    AioEngine aio;
+    run_ranks(1, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      engine.load_checkpoint(ckpt);
+      EXPECT_EQ(engine.steps(), 1);
+      std::vector<std::int32_t> tokens, targets;
+      make_batch(0, 1, mc, 1, tokens, targets);
+      const auto st = engine.train_step(tokens, targets);
+      EXPECT_TRUE(std::isfinite(st.global_loss));
+    });
+  }
+}
+
+TEST_F(EngineFeatureTest, CheckpointRejectsGarbage) {
+  const GptConfig mc = tiny_model();
+  const std::string bad = (dir_ / "bad.bin").string();
+  {
+    std::vector<std::byte> junk(64, std::byte{0x42});
+    AioEngine aio;
+    AioFile* f = aio.open(bad);
+    aio.write(f, 0, junk);
+  }
+  EngineConfig cfg = preset_zero3();
+  cfg.nvme_dir = (dir_ / "g").string();
+  AioEngine aio;
+  run_ranks(1, [&](Communicator& comm) {
+    Gpt model(mc);
+    ZeroEngine engine(model, comm, aio, cfg);
+    EXPECT_THROW(engine.load_checkpoint(bad), Error);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Eval mode
+
+TEST_F(EngineFeatureTest, EvalDoesNotPerturbTraining) {
+  const GptConfig mc = tiny_model();
+  EngineConfig cfg = preset_zero_infinity_nvme();
+
+  auto run = [&](bool with_evals, const fs::path& d) {
+    EngineConfig c = cfg;
+    c.nvme_dir = d.string();
+    std::vector<float> losses;
+    std::uint64_t invalidations = 0;
+    AioEngine aio;
+    run_ranks(2, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, c);
+      std::vector<std::int32_t> tokens, targets, etok, etgt;
+      make_batch(comm.rank(), 99, mc, 1, etok, etgt);
+      for (int s = 0; s < 4; ++s) {
+        make_batch(comm.rank(), s, mc, 1, tokens, targets);
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) losses.push_back(st.global_loss);
+        if (with_evals) {
+          const float e = engine.eval_loss(etok, etgt);
+          EXPECT_TRUE(std::isfinite(e));
+        }
+      }
+      if (comm.rank() == 0) {
+        invalidations = engine.coordinator()->stats().trace_invalidations;
+      }
+    });
+    EXPECT_EQ(invalidations, 0u) << "eval must not disturb the trace";
+    return losses;
+  };
+
+  const auto plain = run(false, dir_ / "plain");
+  const auto with_evals = run(true, dir_ / "eval");
+  ASSERT_EQ(plain.size(), with_evals.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], with_evals[i]) << i;
+  }
+}
+
+TEST_F(EngineFeatureTest, EvalLossMatchesTrainLossBeforeUpdate) {
+  const GptConfig mc = tiny_model();
+  EngineConfig cfg = preset_zero_infinity_cpu();
+  cfg.nvme_dir = (dir_ / "e").string();
+  AioEngine aio;
+  run_ranks(2, [&](Communicator& comm) {
+    Gpt model(mc);
+    ZeroEngine engine(model, comm, aio, cfg);
+    std::vector<std::int32_t> tokens, targets;
+    make_batch(comm.rank(), 0, mc, 2, tokens, targets);
+    // Evaluating the fresh model must give the same loss the first
+    // training step reports (the step's loss is pre-update).
+    const float eval = engine.eval_loss(tokens, targets);
+    const auto st = engine.train_step(tokens, targets);
+    EXPECT_EQ(eval, st.global_loss);
+    // After the update the loss moved.
+    const float after = engine.eval_loss(tokens, targets);
+    EXPECT_NE(after, eval);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Persistence threshold
+
+TEST_F(EngineFeatureTest, PersistenceReducesFetchesWithoutChangingMath) {
+  const GptConfig mc = tiny_model();
+
+  auto run = [&](std::int64_t threshold, const fs::path& d,
+                 std::uint64_t& fetches) {
+    EngineConfig cfg = preset_zero_infinity_cpu();
+    cfg.persistence_threshold_elems = threshold;
+    cfg.nvme_dir = d.string();
+    std::vector<float> losses;
+    AioEngine aio;
+    run_ranks(2, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> tokens, targets;
+      for (int s = 0; s < 4; ++s) {
+        make_batch(comm.rank(), s, mc, 1, tokens, targets);
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) losses.push_back(st.global_loss);
+      }
+      if (comm.rank() == 0) {
+        fetches = engine.coordinator()->stats().fetches;
+      }
+    });
+    return losses;
+  };
+
+  std::uint64_t fetches_off = 0, fetches_on = 0;
+  const auto off = run(0, dir_ / "off", fetches_off);
+  // Threshold covers layernorm gains/biases (hidden = 16 elements).
+  const auto on = run(mc.hidden, dir_ / "on", fetches_on);
+
+  EXPECT_LT(fetches_on, fetches_off);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << i;  // exactness preserved
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast-based retrieval (the ZeRO/ZeRO-Offload baseline of Sec. 6.1)
+
+TEST_F(EngineFeatureTest, BroadcastRetrievalIsExactButOwnerBound) {
+  const GptConfig mc = tiny_model();
+  constexpr int kWorld = 3;
+
+  auto run = [&](bool bandwidth_centric, const fs::path& d,
+                 ParamCoordinator::Stats& stats) {
+    EngineConfig cfg = preset_zero3();
+    cfg.param_placement = Placement::kCpu;  // make the retrieval path real
+    cfg.bandwidth_centric = bandwidth_centric;
+    cfg.nvme_dir = d.string();
+    std::vector<float> losses;
+    AioEngine aio;
+    run_ranks(kWorld, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> tokens, targets;
+      for (int s = 0; s < 4; ++s) {
+        make_batch(comm.rank(), s, mc, 1, tokens, targets);
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) losses.push_back(st.global_loss);
+      }
+      if (comm.rank() == 0) stats = engine.coordinator()->stats();
+    });
+    return losses;
+  };
+
+  ParamCoordinator::Stats ag_stats, bc_stats;
+  const auto allgather = run(true, dir_ / "ag", ag_stats);
+  const auto broadcast = run(false, dir_ / "bc", bc_stats);
+
+  // Same values — bandwidth-centric partitioning is a pure data-movement
+  // transformation.
+  ASSERT_EQ(allgather.size(), broadcast.size());
+  for (std::size_t i = 0; i < allgather.size(); ++i) {
+    EXPECT_EQ(allgather[i], broadcast[i]) << i;
+  }
+  // But the traffic pattern differs: broadcast moves whole parameters
+  // through single owners, allgather moves 1/dp slices per rank.
+  EXPECT_GT(ag_stats.allgather_fp16_elems, 0u);
+  EXPECT_EQ(ag_stats.broadcast_fp16_elems, 0u);
+  EXPECT_EQ(bc_stats.allgather_fp16_elems, 0u);
+  EXPECT_GT(bc_stats.broadcast_fp16_elems, 0u);
+  // Per gather, broadcast traffic ≈ dp × the per-rank allgather volume.
+  EXPECT_GT(bc_stats.broadcast_fp16_elems,
+            ag_stats.allgather_fp16_elems * 2);
+}
+
+TEST_F(EngineFeatureTest, BroadcastModeSupportsCheckpointAndPrefetch) {
+  const GptConfig mc = tiny_model();
+  EngineConfig cfg = preset_zero3();
+  cfg.param_placement = Placement::kCpu;
+  cfg.bandwidth_centric = false;
+  cfg.nvme_dir = (dir_ / "bc2").string();
+  const std::string ckpt = (dir_ / "bc.ckpt").string();
+
+  AioEngine aio;
+  run_ranks(2, [&](Communicator& comm) {
+    Gpt model(mc);
+    ZeroEngine engine(model, comm, aio, cfg);
+    std::vector<std::int32_t> tokens, targets;
+    make_batch(comm.rank(), 0, mc, 1, tokens, targets);
+    float last = 0;
+    for (int s = 0; s < 3; ++s) last = engine.train_step(tokens, targets).global_loss;
+    engine.save_checkpoint(ckpt);
+    // Owner-side prefetching engaged after the first iteration.
+    EXPECT_GT(engine.coordinator()->stats().prefetch_hits, 0u);
+    // Reload restores the exact state: an eval gives the same loss as a
+    // fresh engine that loads the checkpoint.
+    const float here = engine.eval_loss(tokens, targets);
+    Gpt model2(mc);
+    EngineConfig cfg2 = preset_zero_infinity_cpu();
+    cfg2.nvme_dir = cfg.nvme_dir + "/reload";
+    ZeroEngine engine2(model2, comm, aio, cfg2);
+    engine2.load_checkpoint(ckpt);
+    EXPECT_EQ(engine2.eval_loss(tokens, targets), here);
+    (void)last;
+  });
+}
+
+TEST_F(EngineFeatureTest, BroadcastModeRejectsNvmeOptimizer) {
+  const GptConfig mc = tiny_model();
+  EngineConfig cfg = preset_zero_infinity_nvme();
+  cfg.bandwidth_centric = false;
+  cfg.nvme_dir = (dir_ / "bad").string();
+  AioEngine aio;
+  run_ranks(1, [&](Communicator& comm) {
+    Gpt model(mc);
+    EXPECT_THROW(ZeroEngine(model, comm, aio, cfg), Error);
+  });
+}
+
+}  // namespace
+}  // namespace zi

@@ -1,0 +1,426 @@
+// Kernel tests. Backward passes are validated against central-difference
+// numerical gradients — the strongest property check available for
+// hand-written autograd.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace zi {
+namespace {
+
+std::vector<float> randn(std::size_t n, std::uint64_t stream) {
+  Rng rng(1234, stream);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.next_normal() * 0.5f;
+  return v;
+}
+
+// Scalar loss = sum(w_i * out_i) with fixed pseudo-random weights, so the
+// analytic upstream gradient is just w.
+std::vector<float> loss_weights(std::size_t n) {
+  Rng rng(777, 42);
+  std::vector<float> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = rng.next_normal();
+  return w;
+}
+
+double weighted(const std::vector<float>& out, const std::vector<float>& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) s += static_cast<double>(out[i]) * w[i];
+  return s;
+}
+
+// Central-difference gradient of `loss` w.r.t. x[i].
+double numeric_grad(std::vector<float>& x, std::size_t i,
+                    const std::function<double()>& loss, float eps = 1e-3f) {
+  const float save = x[i];
+  x[i] = save + eps;
+  const double up = loss();
+  x[i] = save - eps;
+  const double down = loss();
+  x[i] = save;
+  return (up - down) / (2.0 * eps);
+}
+
+void expect_grad_close(double analytic, double numeric, double tol,
+                       const char* what, std::size_t i) {
+  const double denom = std::max({std::fabs(analytic), std::fabs(numeric), 1.0});
+  EXPECT_LE(std::fabs(analytic - numeric) / denom, tol)
+      << what << " index " << i << ": analytic=" << analytic
+      << " numeric=" << numeric;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+
+TEST(Gemm, MatchesNaiveTripleLoop) {
+  const i64 m = 7, k = 5, n = 9;
+  auto a = randn(static_cast<std::size_t>(m * k), 1);
+  auto b = randn(static_cast<std::size_t>(k * n), 2);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      float ref = 0.0f;
+      for (i64 p = 0; p < k; ++p) {
+        ref += a[static_cast<std::size_t>(i * k + p)] * b[static_cast<std::size_t>(p * n + j)];
+      }
+      EXPECT_NEAR(c[static_cast<std::size_t>(i * n + j)], ref, 1e-4f);
+    }
+  }
+}
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const i64 m = 3, k = 4, n = 2;
+  auto a = randn(static_cast<std::size_t>(m * k), 3);
+  auto b = randn(static_cast<std::size_t>(k * n), 4);
+  std::vector<float> base(static_cast<std::size_t>(m * n), 2.0f);
+  std::vector<float> c = base;
+  gemm(a.data(), b.data(), c.data(), m, k, n, 0.5f, 1.0f);
+  std::vector<float> pure(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), pure.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], 2.0f + 0.5f * pure[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, TransposedVariantsAgree) {
+  const i64 m = 4, k = 6, n = 5;
+  auto a = randn(static_cast<std::size_t>(m * k), 5);   // A[m,k]
+  auto b = randn(static_cast<std::size_t>(k * n), 6);   // B[k,n]
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  // gemm_nt with B pre-transposed must equal gemm.
+  std::vector<float> bt(static_cast<std::size_t>(n * k));
+  for (i64 i = 0; i < k; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      bt[static_cast<std::size_t>(j * k + i)] = b[static_cast<std::size_t>(i * n + j)];
+    }
+  }
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  gemm_nt(a.data(), bt.data(), c1.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c1[i], ref[i], 1e-4f);
+
+  // gemm_tn with A pre-transposed must equal gemm.
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < k; ++j) {
+      at[static_cast<std::size_t>(j * m + i)] = a[static_cast<std::size_t>(i * k + j)];
+    }
+  }
+  std::vector<float> c2(static_cast<std::size_t>(m * n));
+  gemm_tn(at.data(), b.data(), c2.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c2[i], ref[i], 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// Linear: full gradient check on x, W, bias.
+
+TEST(Linear, GradCheck) {
+  const i64 batch = 3, in = 4, out = 5;
+  auto x = randn(static_cast<std::size_t>(batch * in), 10);
+  auto w = randn(static_cast<std::size_t>(in * out), 11);
+  auto bias = randn(static_cast<std::size_t>(out), 12);
+  const auto lw = loss_weights(static_cast<std::size_t>(batch * out));
+
+  auto loss = [&] {
+    std::vector<float> y(static_cast<std::size_t>(batch * out));
+    linear_forward(x.data(), w.data(), bias.data(), y.data(), batch, in, out);
+    return weighted(y, lw);
+  };
+
+  // Analytic gradients with upstream dy = lw.
+  std::vector<float> dx(static_cast<std::size_t>(batch * in));
+  std::vector<float> dw(static_cast<std::size_t>(in * out), 0.0f);
+  std::vector<float> dbias(static_cast<std::size_t>(out), 0.0f);
+  linear_backward(x.data(), w.data(), lw.data(), dx.data(), dw.data(),
+                  dbias.data(), batch, in, out);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expect_grad_close(dx[i], numeric_grad(x, i, loss), 2e-2, "dx", i);
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    expect_grad_close(dw[i], numeric_grad(w, i, loss), 2e-2, "dw", i);
+  }
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    expect_grad_close(dbias[i], numeric_grad(bias, i, loss), 2e-2, "dbias", i);
+  }
+}
+
+TEST(Linear, BackwardAccumulatesWeightGrads) {
+  const i64 batch = 2, in = 3, out = 2;
+  auto x = randn(static_cast<std::size_t>(batch * in), 13);
+  auto w = randn(static_cast<std::size_t>(in * out), 14);
+  auto dy = randn(static_cast<std::size_t>(batch * out), 15);
+  std::vector<float> dw1(static_cast<std::size_t>(in * out), 0.0f);
+  linear_backward(x.data(), w.data(), dy.data(), nullptr, dw1.data(), nullptr,
+                  batch, in, out);
+  std::vector<float> dw2 = dw1;
+  linear_backward(x.data(), w.data(), dy.data(), nullptr, dw2.data(), nullptr,
+                  batch, in, out);
+  for (std::size_t i = 0; i < dw1.size(); ++i) {
+    EXPECT_NEAR(dw2[i], 2.0f * dw1[i], 1e-5f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GELU
+
+TEST(Gelu, KnownValues) {
+  const float xs[] = {0.0f, 1.0f, -1.0f, 3.0f};
+  float ys[4];
+  gelu_forward(xs, ys, 4);
+  EXPECT_NEAR(ys[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(ys[1], 0.8412f, 1e-3f);   // gelu(1)
+  EXPECT_NEAR(ys[2], -0.1588f, 1e-3f);  // gelu(-1)
+  EXPECT_NEAR(ys[3], 2.9964f, 1e-3f);   // ~x for large x
+}
+
+TEST(Gelu, GradCheck) {
+  auto x = randn(16, 20);
+  const auto lw = loss_weights(16);
+  auto loss = [&] {
+    std::vector<float> y(16);
+    gelu_forward(x.data(), y.data(), 16);
+    return weighted(y, lw);
+  };
+  std::vector<float> dx(16);
+  gelu_backward(x.data(), lw.data(), dx.data(), 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    expect_grad_close(dx[i], numeric_grad(x, i, loss), 2e-2, "gelu dx", i);
+  }
+}
+
+TEST(Gelu, BackwardAccumulateFlag) {
+  auto x = randn(8, 21);
+  auto dy = randn(8, 22);
+  std::vector<float> dx(8, 1.0f);
+  gelu_backward(x.data(), dy.data(), dx.data(), 8, /*accumulate=*/true);
+  std::vector<float> fresh(8);
+  gelu_backward(x.data(), dy.data(), fresh.data(), 8, /*accumulate=*/false);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(dx[i], 1.0f + fresh[i], 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+
+TEST(LayerNorm, NormalizesRows) {
+  const i64 rows = 3, dim = 8;
+  auto x = randn(static_cast<std::size_t>(rows * dim), 30);
+  std::vector<float> gamma(static_cast<std::size_t>(dim), 1.0f);
+  std::vector<float> beta(static_cast<std::size_t>(dim), 0.0f);
+  std::vector<float> y(static_cast<std::size_t>(rows * dim));
+  std::vector<float> mean(static_cast<std::size_t>(rows)), rstd(static_cast<std::size_t>(rows));
+  layernorm_forward(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                    rstd.data(), rows, dim);
+  for (i64 r = 0; r < rows; ++r) {
+    double m = 0.0, v = 0.0;
+    for (i64 j = 0; j < dim; ++j) m += y[static_cast<std::size_t>(r * dim + j)];
+    m /= dim;
+    for (i64 j = 0; j < dim; ++j) {
+      const double d = y[static_cast<std::size_t>(r * dim + j)] - m;
+      v += d * d;
+    }
+    v /= dim;
+    EXPECT_NEAR(m, 0.0, 1e-5);
+    EXPECT_NEAR(v, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  const i64 rows = 2, dim = 6;
+  auto x = randn(static_cast<std::size_t>(rows * dim), 31);
+  auto gamma = randn(static_cast<std::size_t>(dim), 32);
+  auto beta = randn(static_cast<std::size_t>(dim), 33);
+  const auto lw = loss_weights(static_cast<std::size_t>(rows * dim));
+
+  auto loss = [&] {
+    std::vector<float> y(static_cast<std::size_t>(rows * dim));
+    std::vector<float> mean(static_cast<std::size_t>(rows)), rstd(static_cast<std::size_t>(rows));
+    layernorm_forward(x.data(), gamma.data(), beta.data(), y.data(),
+                      mean.data(), rstd.data(), rows, dim);
+    return weighted(y, lw);
+  };
+
+  std::vector<float> y(static_cast<std::size_t>(rows * dim));
+  std::vector<float> mean(static_cast<std::size_t>(rows)), rstd(static_cast<std::size_t>(rows));
+  layernorm_forward(x.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                    rstd.data(), rows, dim);
+  std::vector<float> dx(static_cast<std::size_t>(rows * dim));
+  std::vector<float> dgamma(static_cast<std::size_t>(dim), 0.0f);
+  std::vector<float> dbeta(static_cast<std::size_t>(dim), 0.0f);
+  layernorm_backward(x.data(), gamma.data(), mean.data(), rstd.data(),
+                     lw.data(), dx.data(), dgamma.data(), dbeta.data(), rows,
+                     dim);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expect_grad_close(dx[i], numeric_grad(x, i, loss), 3e-2, "ln dx", i);
+  }
+  for (std::size_t i = 0; i < gamma.size(); ++i) {
+    expect_grad_close(dgamma[i], numeric_grad(gamma, i, loss), 3e-2, "ln dgamma", i);
+  }
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    expect_grad_close(dbeta[i], numeric_grad(beta, i, loss), 3e-2, "ln dbeta", i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+
+TEST(Softmax, RowsSumToOne) {
+  const i64 rows = 4, dim = 7;
+  auto x = randn(static_cast<std::size_t>(rows * dim), 40);
+  std::vector<float> y(static_cast<std::size_t>(rows * dim));
+  softmax_forward(x.data(), y.data(), rows, dim);
+  for (i64 r = 0; r < rows; ++r) {
+    double s = 0.0;
+    for (i64 j = 0; j < dim; ++j) {
+      const float v = y[static_cast<std::size_t>(r * dim + j)];
+      EXPECT_GT(v, 0.0f);
+      s += v;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const float x[] = {1000.0f, 1001.0f, 1002.0f};
+  float y[3];
+  softmax_forward(x, y, 1, 3);
+  EXPECT_FALSE(std::isnan(y[0]));
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0f, 1e-5f);
+  EXPECT_GT(y[2], y[1]);
+}
+
+TEST(Softmax, GradCheck) {
+  const i64 rows = 2, dim = 5;
+  auto x = randn(static_cast<std::size_t>(rows * dim), 41);
+  const auto lw = loss_weights(static_cast<std::size_t>(rows * dim));
+  auto loss = [&] {
+    std::vector<float> y(static_cast<std::size_t>(rows * dim));
+    softmax_forward(x.data(), y.data(), rows, dim);
+    return weighted(y, lw);
+  };
+  std::vector<float> y(static_cast<std::size_t>(rows * dim));
+  softmax_forward(x.data(), y.data(), rows, dim);
+  std::vector<float> dx(static_cast<std::size_t>(rows * dim));
+  softmax_backward(y.data(), lw.data(), dx.data(), rows, dim);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expect_grad_close(dx[i], numeric_grad(x, i, loss), 3e-2, "softmax dx", i);
+  }
+}
+
+TEST(Softmax, CausalMask) {
+  std::vector<float> scores(16, 1.0f);
+  apply_causal_mask(scores.data(), 4);
+  for (i64 r = 0; r < 4; ++r) {
+    for (i64 c = 0; c < 4; ++c) {
+      if (c > r) {
+        EXPECT_TRUE(std::isinf(scores[static_cast<std::size_t>(r * 4 + c)]));
+      } else {
+        EXPECT_EQ(scores[static_cast<std::size_t>(r * 4 + c)], 1.0f);
+      }
+    }
+  }
+  // Softmax over a masked row puts zero probability on future positions.
+  std::vector<float> probs(16);
+  softmax_forward(scores.data(), probs.data(), 4, 4);
+  EXPECT_EQ(probs[1], 0.0f);
+  EXPECT_NEAR(probs[0], 1.0f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+
+TEST(Embedding, ForwardGathersRows) {
+  const i64 vocab = 5, dim = 3;
+  std::vector<float> table(static_cast<std::size_t>(vocab * dim));
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = static_cast<float>(i);
+  const std::int32_t ids[] = {4, 0, 2};
+  std::vector<float> y(9);
+  embedding_forward(table.data(), ids, y.data(), 3, dim);
+  EXPECT_EQ(y[0], 12.0f);  // row 4 starts at 4*3
+  EXPECT_EQ(y[3], 0.0f);   // row 0
+  EXPECT_EQ(y[6], 6.0f);   // row 2
+}
+
+TEST(Embedding, BackwardScatterAddsWithRepeats) {
+  const i64 vocab = 4, dim = 2;
+  const std::int32_t ids[] = {1, 1, 3};
+  std::vector<float> dy = {1.0f, 2.0f, 10.0f, 20.0f, 5.0f, 6.0f};
+  std::vector<float> dtable(static_cast<std::size_t>(vocab * dim), 0.0f);
+  embedding_backward(ids, dy.data(), dtable.data(), 3, dim);
+  EXPECT_EQ(dtable[2], 11.0f);  // row 1 col 0: 1 + 10
+  EXPECT_EQ(dtable[3], 22.0f);  // row 1 col 1: 2 + 20
+  EXPECT_EQ(dtable[6], 5.0f);   // row 3
+  EXPECT_EQ(dtable[0], 0.0f);   // untouched rows stay zero
+}
+
+// ---------------------------------------------------------------------------
+// Cross-entropy
+
+TEST(CrossEntropy, UniformLogitsGiveLogVocab) {
+  const i64 batch = 2, vocab = 8;
+  std::vector<float> logits(static_cast<std::size_t>(batch * vocab), 0.0f);
+  const std::int32_t targets[] = {3, 5};
+  std::vector<float> probs(static_cast<std::size_t>(batch * vocab));
+  const float loss =
+      cross_entropy_forward(logits.data(), targets, probs.data(), batch, vocab);
+  EXPECT_NEAR(loss, std::log(8.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradCheck) {
+  const i64 batch = 3, vocab = 6;
+  auto logits = randn(static_cast<std::size_t>(batch * vocab), 50);
+  const std::int32_t targets[] = {0, 4, 2};
+  auto loss = [&] {
+    std::vector<float> probs(static_cast<std::size_t>(batch * vocab));
+    return static_cast<double>(cross_entropy_forward(
+        logits.data(), targets, probs.data(), batch, vocab));
+  };
+  std::vector<float> probs(static_cast<std::size_t>(batch * vocab));
+  cross_entropy_forward(logits.data(), targets, probs.data(), batch, vocab);
+  std::vector<float> dlogits(static_cast<std::size_t>(batch * vocab));
+  cross_entropy_backward(probs.data(), targets, dlogits.data(), batch, vocab);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    expect_grad_close(dlogits[i], numeric_grad(logits, i, loss), 3e-2, "ce", i);
+  }
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  const i64 batch = 1, vocab = 4;
+  std::vector<float> logits = {20.0f, 0.0f, 0.0f, 0.0f};
+  const std::int32_t targets[] = {0};
+  std::vector<float> probs(4);
+  const float loss =
+      cross_entropy_forward(logits.data(), targets, probs.data(), batch, vocab);
+  EXPECT_LT(loss, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+
+TEST(Elementwise, Utilities) {
+  std::vector<float> y = {1.0f, 2.0f};
+  const std::vector<float> x = {10.0f, 20.0f};
+  add_inplace(y, x);
+  EXPECT_EQ(y[1], 22.0f);
+  scale_inplace(y, 0.5f);
+  EXPECT_EQ(y[0], 5.5f);
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[1], 51.0f);
+  EXPECT_NEAR(squared_norm(x), 500.0, 1e-9);
+  EXPECT_EQ(abs_max(y), 51.0f);
+  EXPECT_FALSE(has_nan_or_inf(y));
+  y[0] = std::nanf("");
+  EXPECT_TRUE(has_nan_or_inf(y));
+}
+
+}  // namespace
+}  // namespace zi

@@ -1,0 +1,179 @@
+// Adam + loss-scaler tests, including hand-computed reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "optim/adam.hpp"
+#include "optim/loss_scaler.hpp"
+
+namespace zi {
+namespace {
+
+TEST(Adam, FirstStepMatchesHandComputation) {
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.beta1 = 0.9f;
+  cfg.beta2 = 0.999f;
+  cfg.eps = 1e-8f;
+  std::vector<float> w = {1.0f};
+  std::vector<float> m = {0.0f};
+  std::vector<float> v = {0.0f};
+  std::vector<float> g = {0.5f};
+  adam_step(cfg, 1, w, m, v, g);
+  // m = 0.1*0.5 = 0.05; v = 0.001*0.25 = 2.5e-4
+  // m_hat = 0.05/0.1 = 0.5; v_hat = 2.5e-4/0.001 = 0.25
+  // update = 0.5 / (0.5 + 1e-8) ≈ 1.0 → w = 1 - 0.1 = 0.9
+  EXPECT_NEAR(m[0], 0.05f, 1e-7f);
+  EXPECT_NEAR(v[0], 2.5e-4f, 1e-8f);
+  EXPECT_NEAR(w[0], 0.9f, 1e-5f);
+}
+
+TEST(Adam, SecondStepAccumulatesMoments) {
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  std::vector<float> w = {1.0f}, m = {0.0f}, v = {0.0f};
+  std::vector<float> g = {0.5f};
+  adam_step(cfg, 1, w, m, v, g);
+  adam_step(cfg, 2, w, m, v, g);
+  // m2 = 0.9*0.05 + 0.1*0.5 = 0.095; bias corr 1-0.81 = 0.19 → m_hat = 0.5
+  // v2 = 0.999*2.5e-4 + 0.001*0.25; v_hat = 0.25 → update ≈ 1
+  EXPECT_NEAR(m[0], 0.095f, 1e-6f);
+  EXPECT_NEAR(w[0], 0.8f, 1e-4f);
+}
+
+TEST(Adam, ConstantGradientConvergesTowardSteadyUpdate) {
+  AdamConfig cfg;
+  cfg.lr = 0.01f;
+  std::vector<float> w = {0.0f}, m = {0.0f}, v = {0.0f};
+  std::vector<float> g = {1.0f};
+  for (int t = 1; t <= 200; ++t) adam_step(cfg, t, w, m, v, g);
+  // With constant gradient the step magnitude approaches lr.
+  EXPECT_NEAR(w[0], -0.01f * 200.0f, 0.05f);
+}
+
+TEST(Adam, GradScaleUnscalesGradient) {
+  AdamConfig cfg;
+  std::vector<float> w1 = {1.0f}, m1 = {0.0f}, v1 = {0.0f};
+  std::vector<float> w2 = {1.0f}, m2 = {0.0f}, v2 = {0.0f};
+  std::vector<float> g = {0.25f};
+  std::vector<float> g_scaled = {0.25f * 1024.0f};
+  adam_step(cfg, 1, w1, m1, v1, g, /*grad_scale=*/1.0f);
+  adam_step(cfg, 1, w2, m2, v2, g_scaled, /*grad_scale=*/1024.0f);
+  EXPECT_FLOAT_EQ(w1[0], w2[0]);
+  EXPECT_FLOAT_EQ(m1[0], m2[0]);
+  EXPECT_FLOAT_EQ(v1[0], v2[0]);
+}
+
+TEST(Adam, ClipCoefScalesGradient) {
+  AdamConfig cfg;
+  std::vector<float> w1 = {1.0f}, m1 = {0.0f}, v1 = {0.0f};
+  std::vector<float> w2 = {1.0f}, m2 = {0.0f}, v2 = {0.0f};
+  std::vector<float> g = {1.0f};
+  std::vector<float> g_half = {0.5f};
+  adam_step(cfg, 1, w1, m1, v1, g, 1.0f, /*clip_coef=*/0.5f);
+  adam_step(cfg, 1, w2, m2, v2, g_half);
+  EXPECT_FLOAT_EQ(m1[0], m2[0]);
+  EXPECT_FLOAT_EQ(v1[0], v2[0]);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksWeights) {
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.1f;
+  cfg.decoupled_weight_decay = true;
+  std::vector<float> w = {2.0f}, m = {0.0f}, v = {0.0f};
+  std::vector<float> g = {0.0f};  // zero gradient: only decay acts
+  adam_step(cfg, 1, w, m, v, g);
+  EXPECT_NEAR(w[0], 2.0f - 0.1f * 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Adam, CoupledWeightDecayEntersMoments) {
+  AdamConfig cfg;
+  cfg.weight_decay = 0.1f;
+  cfg.decoupled_weight_decay = false;
+  std::vector<float> w = {2.0f}, m = {0.0f}, v = {0.0f};
+  std::vector<float> g = {0.0f};
+  adam_step(cfg, 1, w, m, v, g);
+  EXPECT_NEAR(m[0], 0.1f * 0.1f * 2.0f, 1e-7f);  // decay-derived gradient
+}
+
+TEST(Adam, SizeMismatchThrows) {
+  AdamConfig cfg;
+  std::vector<float> w(4), m(4), v(4), g(3);
+  EXPECT_ANY_THROW(adam_step(cfg, 1, w, m, v, g));
+}
+
+TEST(ClipCoefficient, Semantics) {
+  EXPECT_EQ(clip_coefficient(4.0, 0.0f), 1.0f);      // disabled
+  EXPECT_EQ(clip_coefficient(0.25, 1.0f), 1.0f);     // norm 0.5 <= 1
+  EXPECT_NEAR(clip_coefficient(4.0, 1.0f), 0.5f, 1e-5f);   // norm 2 → 0.5
+  EXPECT_NEAR(clip_coefficient(100.0, 2.0f), 0.2f, 1e-5f); // norm 10 → 0.2
+}
+
+// ---------------------------------------------------------------------------
+// Loss scaler
+
+TEST(LossScaler, BacksOffOnOverflow) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 1024.0f;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_EQ(scaler.scale(), 1024.0f);
+  EXPECT_TRUE(scaler.update(/*found_overflow=*/true));
+  EXPECT_EQ(scaler.scale(), 512.0f);
+  EXPECT_EQ(scaler.skipped_steps(), 1);
+}
+
+TEST(LossScaler, GrowsAfterInterval) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 256.0f;
+  cfg.growth_interval = 3;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_FALSE(scaler.update(false));
+  EXPECT_FALSE(scaler.update(false));
+  EXPECT_EQ(scaler.scale(), 256.0f);
+  EXPECT_FALSE(scaler.update(false));  // third clean step → grow
+  EXPECT_EQ(scaler.scale(), 512.0f);
+}
+
+TEST(LossScaler, OverflowResetsGrowthCounter) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 256.0f;
+  cfg.growth_interval = 2;
+  DynamicLossScaler scaler(cfg);
+  scaler.update(false);
+  scaler.update(true);  // backoff to 128, counter reset
+  EXPECT_EQ(scaler.scale(), 128.0f);
+  scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 128.0f);  // only 1 clean step since backoff
+  scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 256.0f);
+}
+
+TEST(LossScaler, ClampsToMinAndMax) {
+  DynamicLossScaler::Config cfg;
+  cfg.init_scale = 2.0f;
+  cfg.min_scale = 1.0f;
+  cfg.max_scale = 4.0f;
+  cfg.growth_interval = 1;
+  DynamicLossScaler scaler(cfg);
+  scaler.update(true);
+  scaler.update(true);
+  EXPECT_EQ(scaler.scale(), 1.0f);  // clamped at min
+  scaler.update(false);
+  scaler.update(false);
+  scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 4.0f);  // clamped at max
+}
+
+TEST(LossScaler, DisabledPinsScaleToOne) {
+  DynamicLossScaler::Config cfg;
+  cfg.enabled = false;
+  DynamicLossScaler scaler(cfg);
+  EXPECT_EQ(scaler.scale(), 1.0f);
+  EXPECT_FALSE(scaler.update(true));  // never skips
+  EXPECT_EQ(scaler.scale(), 1.0f);
+}
+
+}  // namespace
+}  // namespace zi

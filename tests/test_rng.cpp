@@ -1,0 +1,122 @@
+// Tests for the counter-based RNG: determinism and random access are what
+// the partitioned-initialization path depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace zi {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42, 0), b(42, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RandomAccessMatchesSequential) {
+  Rng seq(7, 3);
+  const Rng ra(7, 3);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(seq.next_u64(), ra.at(i)) << i;
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  const Rng a(42, 0), b(42, 1);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.at(i) == b.at(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SeedsChangeEverything) {
+  const Rng a(1, 0), b(2, 0);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.at(i) == b.at(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(123, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.next_uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng r(99, 5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.next_uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(7, 1);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const float g = r.next_normal();
+    sum += g;
+    sum2 += static_cast<double>(g) * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalRandomAccessIsStable) {
+  const Rng r(11, 2);
+  Rng seq(11, 2);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(seq.next_normal(), r.normal_at(i));
+  }
+}
+
+TEST(Rng, NextBelow) {
+  Rng r(5, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, CounterSetAndGet) {
+  Rng r(5, 0);
+  r.next_u64();
+  r.next_u64();
+  EXPECT_EQ(r.counter(), 2u);
+  r.set_counter(0);
+  Rng fresh(5, 0);
+  EXPECT_EQ(r.next_u64(), fresh.next_u64());
+}
+
+TEST(Rng, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t x = 1; x < 1000; ++x) {
+    const std::uint64_t d = mix64(x) ^ mix64(x ^ 1);
+    total += __builtin_popcountll(d);
+  }
+  const double avg = total / 999.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+}  // namespace
+}  // namespace zi

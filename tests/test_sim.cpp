@@ -1,0 +1,450 @@
+// Simulator tests, anchored to numbers the paper itself states.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/efficiency.hpp"
+#include "sim/hw_model.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/model_zoo.hpp"
+#include "sim/report.hpp"
+#include "sim/timeline.hpp"
+
+namespace zi::sim {
+namespace {
+
+ModelShape fig2a_1t() {
+  ModelShape m;
+  m.layers = 128;
+  m.hidden = 25600;
+  m.attn_heads = 256;
+  m.seq = 1024;
+  m.batch_per_gpu = 4;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Memory formulas vs Fig. 2a's printed rows (the paper reports TiB/GiB).
+
+TEST(MemoryModel, Eq1ParameterCountMatchesFig2a) {
+  // 1T row: 128 layers x 25600 hidden ⇒ 1.01T params.
+  EXPECT_NEAR(fig2a_1t().params(), 1.01e12, 0.01e12);
+  // 100B row: 80 x 10240 ⇒ 0.10T.
+  ModelShape small;
+  small.layers = 80;
+  small.hidden = 10240;
+  EXPECT_NEAR(small.params(), 0.10e12, 0.005e12);
+}
+
+TEST(MemoryModel, Eq2ModelStatesMatchFig2a) {
+  // Fig. 2a column 5: 1.01T → 18.31 TB; 0.1T → 1.83 TB (TiB).
+  const double tib = static_cast<double>(kTiB);
+  EXPECT_NEAR(fig2a_1t().model_state_bytes() / tib, 18.31, 0.2);
+  ModelShape small;
+  small.layers = 80;
+  small.hidden = 10240;
+  EXPECT_NEAR(small.model_state_bytes() / tib, 1.83, 0.03);
+}
+
+TEST(MemoryModel, Eq3ActivationCheckpointsMatchFig2a) {
+  // Column 7 (bsz=32 per node, ci=1): 1T → 0.20 TB; 0.1T → 0.05 TB.
+  const double tib = static_cast<double>(kTiB);
+  EXPECT_NEAR(fig2a_1t().act_ckpt_bytes(32) / tib, 0.20, 0.01);
+  ModelShape small;
+  small.layers = 80;
+  small.hidden = 10240;
+  EXPECT_NEAR(small.act_ckpt_bytes(32) / tib, 0.05, 0.005);
+}
+
+TEST(MemoryModel, Eq4MswmMatchesFig2a) {
+  // Column 8 "Model State" working memory: 1T → 9.77 GB (GiB).
+  EXPECT_NEAR(fig2a_1t().mswm_bytes() / static_cast<double>(kGiB), 9.77, 0.1);
+  // 10T row (195 x 65536): 64.00 GiB.
+  ModelShape big;
+  big.layers = 195;
+  big.hidden = 65536;
+  EXPECT_NEAR(big.mswm_bytes() / static_cast<double>(kGiB), 64.0, 0.5);
+}
+
+TEST(MemoryModel, Eq5AwmMatchesFig2a) {
+  // Column 9 "Act." working memory at bsz=4: 1T → 3.56 GiB; 10T → 8.00 GiB.
+  const double gib = static_cast<double>(kGiB);
+  EXPECT_NEAR(fig2a_1t().awm_bytes(4) / gib, 3.56, 0.05);
+  ModelShape big;
+  big.layers = 195;
+  big.hidden = 65536;
+  big.attn_heads = 512;
+  big.seq = 1024;
+  EXPECT_NEAR(big.awm_bytes(4) / gib, 8.00, 0.1);
+}
+
+TEST(MemoryModel, ShapeForParamsInvertsEq1) {
+  for (const double p : {1e9, 1e10, 1e11, 1e12, 1e13}) {
+    const ModelShape s = shape_for_params(p);
+    EXPECT_NEAR(s.params(), p, p * 0.15) << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Efficiency model vs Sec. 4.2's statements.
+
+TEST(Efficiency, Fig3aParamGradAnchor) {
+  // "with a bandwidth of over 70 GB/s for parameter and gradients, we can
+  // achieve over 50% efficiency for even the smallest batch size [1]".
+  const double e = efficiency(ait_param_grad(1, 1024), 70e9, 70e12);
+  EXPECT_GT(e, 0.50);
+  EXPECT_LT(e, 0.55);
+}
+
+TEST(Efficiency, Fig3bOptimizerNeeds4xBandwidth) {
+  // "optimizer states require nearly 4x higher bandwidth to achieve 50%
+  // efficiency compared to parameters and gradients".
+  const double bw_pg = bandwidth_for_efficiency(ait_param_grad(2, 1024), 70e12, 0.5);
+  const double bw_os = bandwidth_for_efficiency(ait_optimizer(2, 1024), 70e12, 0.5);
+  EXPECT_NEAR(bw_os / bw_pg, 4.0, 0.01);
+  // "achieving 90% efficiency with batch size of 2 per GPU requires nearly
+  // 1.5 TB/s".
+  const double bw90 = bandwidth_for_efficiency(ait_optimizer(2, 1024), 70e12, 0.9);
+  EXPECT_GT(bw90, 1.0e12);
+  EXPECT_LT(bw90, 1.5e12);
+}
+
+TEST(Efficiency, Fig3cActivationAnchors) {
+  // "a meager bandwidth of 2 GB/s is able to sustain over 50% efficiency
+  // even for a hidden size of 2K".
+  EXPECT_GT(efficiency(ait_activation(2048, 1), 2e9, 70e12), 0.5);
+  // "drops down to less than 1 GB/s once the hidden size grows over 8K".
+  EXPECT_GT(efficiency(ait_activation(8192, 1), 1e9, 70e12), 0.7);
+  EXPECT_LT(bandwidth_for_efficiency(ait_activation(8192, 1), 70e12, 0.5), 1e9);
+}
+
+TEST(Efficiency, MonotoneInBandwidthAndAit) {
+  double prev = 0;
+  for (double bw = 1e9; bw <= 1e12; bw *= 2) {
+    const double e = efficiency(1024, bw, 70e12);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity model vs Fig. 1 / Fig. 6a.
+
+TEST(Capacity, Fig1MaxModelSizesOn512Gpus) {
+  const ClusterSpec c = dgx2_cluster();
+  // 3D parallelism: ~0.65T on 512 GPUs (bounded by aggregate GPU memory).
+  const double threed = max_model_params(Strategy::kThreeD, c, 32);
+  EXPECT_GT(threed, 0.4e12);
+  EXPECT_LT(threed, 0.9e12);
+  // ZeRO-Infinity: 32T on 32 nodes (bounded by NVMe), "could fit over 100T"
+  // in principle on larger clusters.
+  const double inf = max_model_params(Strategy::kZeroInfNvme, c, 32);
+  EXPECT_GT(inf, 25e12);
+  EXPECT_LT(inf, 60e12);
+  // The headline: ~50x more than 3D parallelism.
+  EXPECT_GT(inf / threed, 30.0);
+}
+
+TEST(Capacity, Fig6aStrategyLadderOnOneNode) {
+  const ClusterSpec c = dgx2_cluster();
+  const double dp = max_model_params(Strategy::kDataParallel, c, 1);
+  const double z2 = max_model_params(Strategy::kZero2, c, 1);
+  const double off = max_model_params(Strategy::kZeroOffload, c, 1);
+  const double z3 = max_model_params(Strategy::kZero3, c, 1);
+  const double inf_cpu = max_model_params(Strategy::kZeroInfCpu, c, 1);
+  const double inf_nvme = max_model_params(Strategy::kZeroInfNvme, c, 1);
+
+  // Paper anchors: DP 1.4B; ZeRO-2/Offload ~13B; ZeRO-3 ~20B; Inf-CPU
+  // "almost 100B"; Inf-NVMe 1T ("700x increase over data parallelism").
+  EXPECT_GT(dp, 1.0e9);
+  EXPECT_LT(dp, 2.0e9);
+  EXPECT_GT(z2, 6e9);
+  EXPECT_LT(z2, 16e9);
+  EXPECT_GT(off, 9e9);
+  EXPECT_LT(off, 20e9);
+  EXPECT_GT(z3, 15e9);
+  EXPECT_LT(z3, 40e9);
+  EXPECT_GT(inf_cpu, 50e9);
+  EXPECT_LT(inf_cpu, 130e9);
+  EXPECT_GT(inf_nvme, 0.7e12);
+  EXPECT_LT(inf_nvme, 2.0e12);
+
+  // The ladder is strictly increasing and ends ~700x above DP.
+  EXPECT_LT(dp, z2);
+  EXPECT_LT(z2, off);
+  EXPECT_LT(off, z3);
+  EXPECT_LT(z3, inf_cpu);
+  EXPECT_LT(inf_cpu, inf_nvme);
+  EXPECT_GT(inf_nvme / dp, 400.0);
+}
+
+TEST(Capacity, InfeasibleFootprintNamesTheLimiter) {
+  const ClusterSpec c = dgx2_cluster();
+  const ModelShape huge = shape_for_params(1e14);
+  const MemoryFootprint f =
+      strategy_footprint(huge, Strategy::kDataParallel, c, 1);
+  EXPECT_FALSE(f.feasible);
+  EXPECT_EQ(f.limiter, "GPU memory");
+  const MemoryFootprint f2 =
+      strategy_footprint(huge, Strategy::kZeroInfNvme, c, 1);
+  EXPECT_FALSE(f2.feasible);
+  // At 100T on one node both the CPU (activation checkpoints) and the NVMe
+  // (model states) budgets are blown; either is a truthful limiter.
+  EXPECT_TRUE(f2.limiter == "NVMe capacity" || f2.limiter == "CPU memory")
+      << f2.limiter;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline simulator: behavioral shapes of Figs. 5 and 6.
+
+TEST(Timeline, ThroughputBoundedByAchievablePeak) {
+  const ClusterSpec c = dgx2_cluster();
+  for (const NamedConfig& cfg : table1_configs()) {
+    const SimResult r = simulate_iteration(cfg.sim, c);
+    ASSERT_TRUE(r.feasible) << cfg.label;
+    EXPECT_GT(r.tflops_per_gpu, 5.0) << cfg.label;
+    EXPECT_LE(r.tflops_per_gpu, 70.1) << cfg.label;
+  }
+}
+
+TEST(Timeline, Fig5a3dParallelismOomsBeyond500B) {
+  const ClusterSpec c = dgx2_cluster();
+  SimConfig threed;
+  threed.strategy = Strategy::kThreeD;
+  threed.nodes = 32;
+  threed.mp = 4;
+  threed.model = shape_for_params(0.5e12);
+  EXPECT_TRUE(simulate_iteration(threed, c).feasible);
+  threed.model = shape_for_params(5e12);
+  const SimResult r = simulate_iteration(threed, c);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.limiter, "GPU memory");
+}
+
+TEST(Timeline, Fig5bSuperlinearWeakScaling) {
+  // 1T model, NVMe offload, constant batch/GPU: per-GPU throughput must
+  // INCREASE with node count (the aggregate-bandwidth superlinearity).
+  const ClusterSpec c = dgx2_cluster();
+  SimConfig cfg;
+  cfg.strategy = Strategy::kZeroInfNvme;
+  cfg.mp = 4;
+  cfg.model = shape_for_params(1e12);
+  cfg.model.batch_per_gpu = 5;
+  double prev = 0.0;
+  for (const int nodes : {4, 8, 16, 32}) {
+    cfg.nodes = nodes;
+    const SimResult r = simulate_iteration(cfg, c);
+    ASSERT_TRUE(r.feasible) << nodes;
+    EXPECT_GT(r.tflops_per_gpu, prev) << nodes << " nodes";
+    prev = r.tflops_per_gpu;
+  }
+  // Paper: already 44 TFlops/GPU at 4 nodes (over 2.8 pflops).
+  cfg.nodes = 4;
+  EXPECT_GT(simulate_iteration(cfg, c).pflops_total, 2.0);
+}
+
+TEST(Timeline, Fig6cBandwidthCentricGradOffloadWins) {
+  // 8B model backward: ZeRO-Infinity vs ZeRO-Offload. At 64 GPUs the
+  // aggregate-PCIe design is ~2x faster (Sec. 8.6).
+  const ClusterSpec c = dgx2_cluster();
+  auto backward_time = [&](int gpus, bool bandwidth_centric) {
+    SimConfig cfg;
+    cfg.strategy = Strategy::kZeroOffload;
+    cfg.nodes = std::max(1, gpus / 16);
+    cfg.model = ModelShape{10, 8192, 16, 2, 0, 1024, 1};
+    cfg.bandwidth_centric = bandwidth_centric;
+    const SimResult r = simulate_iteration(cfg, c);
+    return r.bwd_time;
+  };
+  const double speedup64 = backward_time(64, false) / backward_time(64, true);
+  EXPECT_GT(speedup64, 1.5);
+  EXPECT_LT(speedup64, 3.0);
+}
+
+TEST(Timeline, Fig6dOverlapMattersMostAtSmallBatch) {
+  const ClusterSpec c = dgx2_cluster();
+  auto speedup_at_batch = [&](int batch) {
+    SimConfig cfg;
+    cfg.strategy = Strategy::kZero3;
+    cfg.nodes = 4;
+    cfg.model = ModelShape{10, 8192, 16, batch, 0, 1024, 1};
+    cfg.overlap = true;
+    const double with = simulate_iteration(cfg, c).iter_time;
+    cfg.overlap = false;
+    const double without = simulate_iteration(cfg, c).iter_time;
+    return without / with;
+  };
+  const double s2 = speedup_at_batch(2);
+  const double s16 = speedup_at_batch(16);
+  EXPECT_GT(s2, 1.05);      // overlap clearly helps at batch 2
+  EXPECT_GT(s2, s16);       // and its impact diminishes at large batch
+  EXPECT_LT(s16, 1.2);
+}
+
+TEST(Timeline, Fig6eActOffloadOverheadShrinksWithHiddenSize) {
+  const ClusterSpec c = dgx2_cluster();
+  auto slowdown = [&](std::int64_t hidden) {
+    SimConfig cfg;
+    cfg.strategy = Strategy::kZeroInfCpu;
+    cfg.nodes = 2;
+    cfg.model = ModelShape{5, hidden, 16, 4, 0, 1024, 1};
+    cfg.act_tier = SimConfig::TierOpt::kGpu;
+    const double on_gpu = simulate_iteration(cfg, c).iter_time;
+    cfg.act_tier = SimConfig::TierOpt::kCpu;
+    const double on_cpu = simulate_iteration(cfg, c).iter_time;
+    return on_cpu / on_gpu;
+  };
+  const double small = slowdown(2048);
+  const double large = slowdown(32768);
+  EXPECT_GT(small, 1.02);   // visible overhead at hd=2K (paper: up to 1.2x)
+  EXPECT_LT(small, 1.5);
+  EXPECT_LT(large, 1.10);   // near-negligible at hd=32K
+  EXPECT_GT(small, large);
+}
+
+TEST(Timeline, OverlapNeverHurts) {
+  const ClusterSpec c = dgx2_cluster();
+  for (const NamedConfig& cfg : table1_configs()) {
+    SimConfig off = cfg.sim;
+    off.overlap = false;
+    const double with = simulate_iteration(cfg.sim, c).iter_time;
+    const double without = simulate_iteration(off, c).iter_time;
+    EXPECT_GE(without, with * 0.999) << cfg.label;
+  }
+}
+
+TEST(Timeline, Table3FutureBandwidthRequirements) {
+  // Bandwidth to remain efficient scales linearly with achievable compute
+  // (Table 3: 3 GB/s → 30 → 300 per device as compute grows 10x, 100x).
+  const double v100 = bandwidth_for_efficiency(ait_activation(8192, 1), 70e12, 0.9);
+  const double x10 = bandwidth_for_efficiency(ait_activation(8192, 1), 700e12, 0.9);
+  const double x100 = bandwidth_for_efficiency(ait_activation(8192, 1), 7000e12, 0.9);
+  EXPECT_NEAR(x10 / v100, 10.0, 0.01);
+  EXPECT_NEAR(x100 / v100, 100.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator property tests: structural monotonicities that must hold for
+// any sensible performance model.
+
+TEST(TimelineProperty, FasterHardwareNeverSlower) {
+  ClusterSpec base = dgx2_cluster();
+  for (const NamedConfig& cfg : table1_configs()) {
+    const SimResult slow = simulate_iteration(cfg.sim, base);
+    ClusterSpec fast = base;
+    fast.nvme_bw_per_gpu_parallel *= 2;
+    fast.cpu_bw_per_gpu_parallel *= 2;
+    fast.gpu_gpu_bw *= 2;
+    const SimResult quick = simulate_iteration(cfg.sim, fast);
+    if (slow.feasible && quick.feasible) {
+      EXPECT_LE(quick.iter_time, slow.iter_time * 1.0001) << cfg.label;
+    }
+  }
+}
+
+TEST(TimelineProperty, LargerBatchRaisesEfficiency) {
+  const ClusterSpec c = dgx2_cluster();
+  SimConfig cfg;
+  cfg.strategy = Strategy::kZeroInfNvme;
+  cfg.nodes = 4;
+  cfg.model = shape_for_params(1e12);
+  double prev = 0;
+  for (const int batch : {1, 2, 4, 8}) {
+    cfg.model.batch_per_gpu = batch;
+    const SimResult r = simulate_iteration(cfg, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GE(r.tflops_per_gpu, prev) << batch;
+    prev = r.tflops_per_gpu;
+  }
+}
+
+TEST(TimelineProperty, DeeperPrefetchNeverHurts) {
+  const ClusterSpec c = dgx2_cluster();
+  SimConfig cfg;
+  cfg.strategy = Strategy::kZeroInfNvme;
+  cfg.nodes = 1;
+  cfg.model = shape_for_params(100e9);
+  cfg.model.batch_per_gpu = 2;
+  double prev = 1e300;
+  for (const int depth : {1, 2, 4, 8}) {
+    cfg.prefetch_depth = depth;
+    const SimResult r = simulate_iteration(cfg, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.iter_time, prev * 1.0001) << depth;
+    prev = r.iter_time;
+  }
+}
+
+TEST(TimelineProperty, StallAccountingIsConsistent) {
+  const ClusterSpec c = dgx2_cluster();
+  for (const NamedConfig& cfg : table1_configs()) {
+    const SimResult r = simulate_iteration(cfg.sim, c);
+    ASSERT_TRUE(r.feasible) << cfg.label;
+    EXPECT_GE(r.param_stall, 0.0) << cfg.label;
+    EXPECT_LE(r.param_stall, r.iter_time) << cfg.label;
+    EXPECT_NEAR(r.fwd_time + r.bwd_time + r.opt_time, r.iter_time,
+                r.iter_time * 1e-6)
+        << cfg.label;
+  }
+}
+
+TEST(CapacityProperty, MoreNodesNeverShrinkMaxModel) {
+  const ClusterSpec c = dgx2_cluster();
+  for (const Strategy s : {Strategy::kZero3, Strategy::kThreeD,
+                           Strategy::kZeroInfCpu, Strategy::kZeroInfNvme}) {
+    double prev = 0;
+    for (const int nodes : {1, 2, 4, 8, 32}) {
+      const double p = max_model_params(s, c, nodes);
+      EXPECT_GE(p, prev * 0.999) << strategy_name(s) << " nodes " << nodes;
+      prev = p;
+    }
+  }
+}
+
+TEST(CapacityProperty, ReplicatedStrategiesDoNotScaleWithNodes) {
+  // DP and ZeRO-Offload are bound by a single GPU / node, so adding nodes
+  // barely moves the ceiling.
+  const ClusterSpec c = dgx2_cluster();
+  const double dp1 = max_model_params(Strategy::kDataParallel, c, 1);
+  const double dp32 = max_model_params(Strategy::kDataParallel, c, 32);
+  EXPECT_LT(dp32 / dp1, 1.2);
+  const double off1 = max_model_params(Strategy::kZeroOffload, c, 1);
+  const double off32 = max_model_params(Strategy::kZeroOffload, c, 32);
+  EXPECT_LT(off32 / off1, 1.3);
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo + report
+
+TEST(ModelZoo, Table1ShapesMatchNominalParams) {
+  for (const NamedConfig& cfg : table1_configs()) {
+    EXPECT_NEAR(cfg.sim.model.params(), cfg.params, cfg.params * 0.2)
+        << cfg.label;
+  }
+}
+
+TEST(ModelZoo, CatalogsAreNonEmpty) {
+  EXPECT_EQ(table1_configs().size(), 10u);
+  EXPECT_EQ(table4_configs().size(), 7u);
+  EXPECT_EQ(table5_configs().size(), 4u);
+  EXPECT_EQ(table6_configs().size(), 4u);
+  EXPECT_EQ(table7_configs().size(), 6u);
+  EXPECT_EQ(table8_configs().size(), 5u);
+}
+
+TEST(Report, TableFormatsAligned) {
+  Table t({"model", "TFlops"});
+  t.add_row({"1T", Table::num(48.9, 1)});
+  t.add_row({"20T", Table::num(34.0, 1)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| model | TFlops |"), std::string::npos);
+  EXPECT_NE(s.find("| 1T    | 48.9   |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only one"}), zi::Error);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.512, 1), "51.2%");
+}
+
+}  // namespace
+}  // namespace zi::sim

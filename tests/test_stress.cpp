@@ -1,0 +1,227 @@
+// Randomized stress / property tests of the substrates: the arena
+// allocator under adversarial alloc/free patterns, the async I/O engine
+// under randomized concurrent traffic, and the engine exactness matrix
+// swept over (stage × world) with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "aio/aio_engine.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "mem/arena.hpp"
+#include "model/gpt.hpp"
+
+namespace zi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Arena fuzz: random alloc/free sequences must preserve the allocator's
+// invariants — accounting consistency, non-overlap, full coalescing on
+// drain.
+
+class ArenaFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaFuzzTest, RandomAllocFreePreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed, 0);
+  DeviceArena arena("fuzz", 1 * kMiB, DeviceArena::Mode::kVirtual);
+  std::vector<ArenaBlock> live;
+  std::uint64_t expected_used = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const bool do_alloc = live.empty() || rng.next_below(100) < 60;
+    if (do_alloc) {
+      const std::uint64_t bytes = 1 + rng.next_below(32 * kKiB);
+      const std::uint64_t align = 1ull << rng.next_below(9);  // 1..256
+      try {
+        ArenaBlock b = arena.allocate(bytes, align);
+        EXPECT_EQ(b.offset() % align, 0u);
+        EXPECT_GE(b.size(), bytes);
+        // Non-overlap with every live block.
+        for (const ArenaBlock& o : live) {
+          const bool disjoint = b.offset() + b.size() <= o.offset() ||
+                                o.offset() + o.size() <= b.offset();
+          ASSERT_TRUE(disjoint) << "overlap at op " << op;
+        }
+        expected_used += b.size();
+        live.push_back(std::move(b));
+      } catch (const OutOfMemoryError&) {
+        // Legal under pressure; accounting must still hold below.
+      }
+    } else {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      expected_used -= live[idx].size();
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(arena.used(), expected_used) << "op " << op;
+  }
+  live.clear();
+  EXPECT_EQ(arena.used(), 0u);
+  // Full coalescing: one span covering everything.
+  EXPECT_EQ(arena.largest_free_block(), arena.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// AIO fuzz: random-size writes at random offsets from multiple logical
+// streams; every region must read back exactly what was last written.
+
+TEST(AioFuzz, RandomOffsetsAndSizesReadBackExactly) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("zi_aiofuzz_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  AioConfig cfg;
+  cfg.num_workers = 6;
+  cfg.block_bytes = 4096;  // force splitting
+  AioEngine engine(cfg);
+  AioFile* f = engine.open(dir / "fuzz.bin");
+
+  constexpr std::uint64_t kFileSize = 1 << 20;
+  std::vector<std::byte> mirror(kFileSize, std::byte{0});
+  f->resize(kFileSize);
+  {
+    std::vector<std::byte> zeros(kFileSize, std::byte{0});
+    engine.write(f, 0, zeros);
+  }
+
+  Rng rng(42, 7);
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<AioStatus> statuses;
+  for (int round = 0; round < 20; ++round) {
+    payloads.clear();
+    statuses.clear();
+    // A burst of non-overlapping async writes.
+    std::uint64_t cursor = rng.next_below(kFileSize / 4);
+    while (cursor < kFileSize) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(1 + rng.next_below(30000), kFileSize - cursor);
+      payloads.emplace_back(len);
+      for (auto& b : payloads.back()) {
+        b = static_cast<std::byte>(rng.next_u64() & 0xFF);
+      }
+      std::copy(payloads.back().begin(), payloads.back().end(),
+                mirror.begin() + static_cast<std::ptrdiff_t>(cursor));
+      statuses.push_back(engine.submit_write(f, cursor, payloads.back()));
+      cursor += len + rng.next_below(50000);
+    }
+    for (auto& s : statuses) s.wait();
+  }
+  std::vector<std::byte> back(kFileSize);
+  engine.read(f, 0, back);
+  ASSERT_EQ(back, mirror);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Engine exactness swept over (stage × world) with TEST_P.
+
+struct MatrixCase {
+  int world;
+  ZeroStage stage;
+};
+
+class EngineMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(EngineMatrixTest, MatchesDdpTrajectory) {
+  const MatrixCase c = GetParam();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("zi_matrix_" + std::to_string(::getpid()) + "_" +
+                        std::to_string(c.world) + "_" +
+                        std::to_string(static_cast<int>(c.stage)));
+  fs::create_directories(dir);
+
+  GptConfig mc;
+  mc.vocab = 32;
+  mc.seq = 8;
+  mc.hidden = 16;
+  mc.layers = 1;
+  mc.heads = 2;
+
+  auto run = [&](ZeroStage stage, const fs::path& d) {
+    EngineConfig cfg;
+    cfg.stage = stage;
+    if (stage == ZeroStage::kStage3) {
+      cfg.param_placement = Placement::kNvme;
+      cfg.optimizer_placement = Placement::kCpu;
+      cfg.grad_placement = Placement::kCpu;
+    }
+    cfg.nvme_dir = d.string();
+    std::vector<float> losses;
+    AioEngine aio;
+    run_ranks(c.world, [&](Communicator& comm) {
+      Gpt model(mc);
+      ZeroEngine engine(model, comm, aio, cfg);
+      std::vector<std::int32_t> tokens(static_cast<std::size_t>(mc.seq));
+      std::vector<std::int32_t> targets(tokens.size());
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        tokens[i] = static_cast<std::int32_t>((comm.rank() * 5 + i) % 31);
+        targets[i] = static_cast<std::int32_t>((tokens[i] + 2) % 31);
+      }
+      for (int s = 0; s < 3; ++s) {
+        const auto st = engine.train_step(tokens, targets);
+        if (comm.rank() == 0) losses.push_back(st.global_loss);
+      }
+    });
+    return losses;
+  };
+
+  const auto reference = run(ZeroStage::kNone, dir / "ref");
+  const auto candidate = run(c.stage, dir / "cand");
+  ASSERT_EQ(reference.size(), candidate.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(candidate[i], reference[i]) << i;
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StageWorld, EngineMatrixTest,
+    ::testing::Values(MatrixCase{1, ZeroStage::kStage1},
+                      MatrixCase{1, ZeroStage::kStage3},
+                      MatrixCase{2, ZeroStage::kStage1},
+                      MatrixCase{2, ZeroStage::kStage2},
+                      MatrixCase{3, ZeroStage::kStage3},
+                      MatrixCase{4, ZeroStage::kStage2},
+                      MatrixCase{5, ZeroStage::kStage3}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return "world" + std::to_string(info.param.world) + "_stage" +
+             std::to_string(static_cast<int>(info.param.stage));
+    });
+
+// ---------------------------------------------------------------------------
+// Pinned-pool contention: many threads hammering a tiny pool never deadlock
+// and never observe an over-subscribed buffer.
+
+TEST(PinnedPoolStress, ConcurrentLeasesNeverOversubscribe) {
+  PinnedBufferPool pool(1024, 3);
+  std::atomic<int> in_use{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        PinnedLease lease = pool.acquire();
+        const int now = in_use.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        lease.data()[0] = std::byte{1};
+        in_use.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(max_seen.load(), 3);
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_EQ(pool.stats().total_acquires, 1600u);
+}
+
+}  // namespace
+}  // namespace zi

@@ -1,0 +1,400 @@
+// Tensor-parallelism tests: communicator subgroups, numerical equivalence
+// of tensor-parallel layers with their dense counterparts (slice-copied
+// weights), and the Megatron baseline engine end to end — including the
+// capacity contrast that motivates Figs. 1/6a.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/megatron_engine.hpp"
+#include <filesystem>
+#include "model/block.hpp"
+#include "model/gpt.hpp"
+#include "model/local_store.hpp"
+#include "model/tensor_parallel.hpp"
+
+namespace zi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Communicator::split
+
+TEST(CommSplit, SubgroupsGetCorrectMembership) {
+  run_ranks(6, [](Communicator& comm) {
+    // Two groups of 3: colors 0,0,0,1,1,1.
+    Communicator sub = comm.split(comm.rank() / 3);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() % 3);
+    // Collective inside the subgroup: sum of world ranks of members.
+    std::vector<float> v = {static_cast<float>(comm.rank())};
+    sub.allreduce_sum<float>(v);
+    const float expected = comm.rank() < 3 ? 0 + 1 + 2 : 3 + 4 + 5;
+    EXPECT_EQ(v[0], expected);
+  });
+}
+
+TEST(CommSplit, OrthogonalGridSplits) {
+  // 2x2 grid: tp = {0,1},{2,3}; dp = {0,2},{1,3}.
+  run_ranks(4, [](Communicator& comm) {
+    MegatronEngine::Grid grid = MegatronEngine::make_grid(comm, 2);
+    EXPECT_EQ(grid.tp.size(), 2);
+    EXPECT_EQ(grid.dp.size(), 2);
+    EXPECT_EQ(grid.tp.rank(), comm.rank() % 2);
+    EXPECT_EQ(grid.dp.rank(), comm.rank() / 2);
+    // tp allreduce sums within the replica.
+    std::vector<float> v = {static_cast<float>(comm.rank())};
+    grid.tp.allreduce_sum<float>(v);
+    EXPECT_EQ(v[0], comm.rank() < 2 ? 1.0f : 5.0f);
+    // dp allreduce sums across replicas.
+    std::vector<float> w = {static_cast<float>(comm.rank())};
+    grid.dp.allreduce_sum<float>(w);
+    EXPECT_EQ(w[0], comm.rank() % 2 == 0 ? 2.0f : 4.0f);
+  });
+}
+
+TEST(CommSplit, RepeatedSplitsDoNotCollide) {
+  run_ranks(4, [](Communicator& comm) {
+    Communicator a = comm.split(comm.rank() % 2);
+    Communicator b = comm.split(comm.rank() % 2);  // same colors, new groups
+    std::vector<float> v = {1.0f};
+    a.allreduce_sum<float>(v);
+    b.allreduce_sum<float>(v);
+    EXPECT_EQ(v[0], 4.0f);  // (1 summed over 2) summed over 2
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Numerical equivalence with the dense model.
+
+// Copy the dense block's weights into the tp ranks' slices.
+void copy_dense_to_tp(TransformerBlock& dense, TpBlock& tp_block, int tp_rank,
+                      int tp, std::int64_t hd, std::int64_t heads) {
+  auto dense_params = dense.all_parameters();
+  auto tp_params = tp_block.all_parameters();
+  std::map<std::string, Parameter*> by_suffix;
+  auto suffix_of = [](const std::string& name) {
+    return name.substr(name.find(".ln1") != std::string::npos ||
+                               name.find('.') == std::string::npos
+                           ? 0
+                           : 0);
+  };
+  (void)suffix_of;
+  auto find_tp = [&](const std::string& needle) -> Parameter* {
+    for (Parameter* p : tp_params) {
+      if (p->name().find(needle) != std::string::npos) return p;
+    }
+    ADD_FAILURE() << "missing tp param " << needle;
+    return nullptr;
+  };
+  auto find_dense = [&](const std::string& needle) -> Parameter* {
+    for (Parameter* p : dense_params) {
+      if (p->name().find(needle) != std::string::npos) return p;
+    }
+    ADD_FAILURE() << "missing dense param " << needle;
+    return nullptr;
+  };
+
+  const std::int64_t local_hd = hd / tp;
+  const std::int64_t hs = hd / heads;
+  (void)hs;
+  // LayerNorms: replicated.
+  for (const char* n : {"ln1.gamma", "ln1.beta", "ln2.gamma", "ln2.beta"}) {
+    Parameter* d = find_dense(n);
+    Parameter* t = find_tp(n);
+    for (std::int64_t i = 0; i < d->numel(); ++i) {
+      t->full_tensor().set(i, d->full_tensor().get(i));
+    }
+  }
+  // QKV: dense [hd, 3hd] packed q|k|v; tp slice takes columns
+  // [rank·local_hd, (rank+1)·local_hd) of each of q, k, v.
+  {
+    Parameter* dw = find_dense("attn.qkv.weight");
+    Parameter* db = find_dense("attn.qkv.bias");
+    Parameter* tw = find_tp(".qkv.tp");
+    Parameter* tb = find_tp(".qkv.tp" + std::to_string(tp_rank) + ".bias");
+    for (std::int64_t r = 0; r < hd; ++r) {
+      for (int part = 0; part < 3; ++part) {
+        for (std::int64_t c = 0; c < local_hd; ++c) {
+          const std::int64_t dense_col = part * hd + tp_rank * local_hd + c;
+          const std::int64_t tp_col = part * local_hd + c;
+          tw->full_tensor().set(r * 3 * local_hd + tp_col,
+                                dw->full_tensor().get(r * 3 * hd + dense_col));
+        }
+      }
+    }
+    for (int part = 0; part < 3; ++part) {
+      for (std::int64_t c = 0; c < local_hd; ++c) {
+        tb->full_tensor().set(part * local_hd + c,
+                              db->full_tensor().get(part * hd +
+                                                    tp_rank * local_hd + c));
+      }
+    }
+  }
+  // Output projection: dense [hd, hd]; tp slice takes ROWS of the local
+  // head block. Replicated bias.
+  {
+    Parameter* dw = find_dense("attn.proj.weight");
+    Parameter* db = find_dense("attn.proj.bias");
+    Parameter* tw = find_tp(".proj.tp");
+    Parameter* tb = find_tp("proj_bias");
+    for (std::int64_t r = 0; r < local_hd; ++r) {
+      for (std::int64_t c = 0; c < hd; ++c) {
+        tw->full_tensor().set(
+            r * hd + c,
+            dw->full_tensor().get((tp_rank * local_hd + r) * hd + c));
+      }
+    }
+    for (std::int64_t c = 0; c < hd; ++c) {
+      tb->full_tensor().set(c, db->full_tensor().get(c));
+    }
+  }
+  // MLP fc1: dense [hd, 4hd]; tp takes columns. fc2: dense [4hd, hd]; tp
+  // takes rows. Replicated fc2 bias.
+  {
+    const std::int64_t local_ffn = 4 * hd / tp;
+    Parameter* dw1 = find_dense("mlp.fc1.weight");
+    Parameter* db1 = find_dense("mlp.fc1.bias");
+    Parameter* tw1 = find_tp(".fc1.tp");
+    Parameter* tb1 = find_tp(".fc1.tp" + std::to_string(tp_rank) + ".bias");
+    for (std::int64_t r = 0; r < hd; ++r) {
+      for (std::int64_t c = 0; c < local_ffn; ++c) {
+        tw1->full_tensor().set(
+            r * local_ffn + c,
+            dw1->full_tensor().get(r * 4 * hd + tp_rank * local_ffn + c));
+      }
+    }
+    for (std::int64_t c = 0; c < local_ffn; ++c) {
+      tb1->full_tensor().set(c,
+                             db1->full_tensor().get(tp_rank * local_ffn + c));
+    }
+    Parameter* dw2 = find_dense("mlp.fc2.weight");
+    Parameter* db2 = find_dense("mlp.fc2.bias");
+    Parameter* tw2 = find_tp(".fc2.tp");
+    Parameter* tb2 = find_tp("fc2_bias");
+    for (std::int64_t r = 0; r < local_ffn; ++r) {
+      for (std::int64_t c = 0; c < hd; ++c) {
+        tw2->full_tensor().set(
+            r * hd + c,
+            dw2->full_tensor().get((tp_rank * local_ffn + r) * hd + c));
+      }
+    }
+    for (std::int64_t c = 0; c < hd; ++c) {
+      tb2->full_tensor().set(c, db2->full_tensor().get(c));
+    }
+  }
+}
+
+TEST(TensorParallel, BlockMatchesDenseBlock) {
+  constexpr std::int64_t kHd = 16;
+  constexpr std::int64_t kHeads = 4;
+  constexpr std::int64_t kSeq = 4;
+  constexpr int kTp = 2;
+
+  // Reference dense block (single copy outside the world).
+  TransformerBlock dense("blk", kHd, kHeads, kSeq);
+  dense.finalize();
+  LocalParamStore dense_store(dense);
+  Tensor x({kSeq, kHd}, DType::kF32);
+  Rng rng(3, 0);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x.set(i, rng.next_normal());
+  Tensor y_ref = dense.run_forward(x.clone());
+  Tensor dy({kSeq, kHd}, DType::kF32);
+  for (std::int64_t i = 0; i < dy.numel(); ++i) dy.set(i, rng.next_normal());
+  dense_store.zero_grads();
+  Tensor dx_ref = dense.run_backward(dy.clone());
+
+  run_ranks(kTp, [&](Communicator& comm) {
+    TpBlock tp_block("blk", kHd, kHeads, kSeq, comm);
+    tp_block.finalize();
+    LocalParamStore store(tp_block);
+    // Fresh dense replica per rank (same deterministic init as `dense`).
+    TransformerBlock dense_local("blk", kHd, kHeads, kSeq);
+    dense_local.finalize();
+    LocalParamStore dls(dense_local);
+    copy_dense_to_tp(dense_local, tp_block, comm.rank(), kTp, kHd, kHeads);
+
+    Tensor y = tp_block.run_forward(x.clone());
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      EXPECT_NEAR(y.get(i), y_ref.get(i), 2e-4f) << "fwd " << i;
+    }
+    store.zero_grads();
+    Tensor dx = tp_block.run_backward(dy.clone());
+    for (std::int64_t i = 0; i < dx.numel(); ++i) {
+      EXPECT_NEAR(dx.get(i), dx_ref.get(i), 2e-3f) << "bwd " << i;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Megatron baseline engine
+
+TpGpt::Config tiny_tp() {
+  TpGpt::Config cfg;
+  cfg.vocab = 32;
+  cfg.seq = 8;
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  cfg.heads = 4;
+  return cfg;
+}
+
+TEST(MegatronEngine, TrainsOnTpByDpGrid) {
+  const TpGpt::Config mc = tiny_tp();
+  MegatronConfig cfg;
+  cfg.tp = 2;
+  cfg.adam.lr = 5e-3f;
+  cfg.loss_scale.init_scale = 1024.0f;
+
+  std::vector<float> losses;
+  std::mutex m;
+  run_ranks(4, [&](Communicator& comm) {
+    MegatronEngine::Grid grid = MegatronEngine::make_grid(comm, cfg.tp);
+    TpGpt model(mc, grid.tp);
+    MegatronEngine engine(model, comm, std::move(grid), cfg);
+
+    // Same batch within a replica (keyed by dp rank), different across.
+    const int dp_rank = comm.rank() / cfg.tp;
+    std::vector<std::int32_t> tokens(static_cast<std::size_t>(mc.seq));
+    std::vector<std::int32_t> targets(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      tokens[i] = static_cast<std::int32_t>((dp_rank * 5 + i) % 31);
+      targets[i] = static_cast<std::int32_t>((tokens[i] + 1) % 31);
+    }
+    float last = 0, first = 0;
+    for (int s = 0; s < 10; ++s) {
+      const auto st = engine.train_step(tokens, targets);
+      if (s == 0) first = st.global_loss;
+      last = st.global_loss;
+    }
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      losses = {first, last};
+    }
+    // Tensor slicing halves the per-GPU big-operator parameters.
+    EXPECT_LT(engine.local_numel(), 12 * mc.layers * mc.hidden * mc.hidden +
+                                        2 * mc.vocab * mc.hidden);
+  });
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_TRUE(std::isfinite(losses[1]));
+  EXPECT_LT(losses[1], losses[0]);
+}
+
+// The Fig. 6a "3D parallelism" row in miniature: a model whose replicated
+// footprint exceeds one "GPU" trains under tp=4 because each GPU holds
+// only 1/tp of the big operators — but unlike ZeRO-Infinity it required
+// rewriting the model with tensor-parallel layers.
+TEST(MegatronEngine, TensorSlicingExtendsModelScale) {
+  TpGpt::Config mc = tiny_tp();
+  mc.hidden = 64;
+  mc.layers = 4;
+  MegatronConfig cfg;
+  cfg.tp = 4;
+  cfg.gpu_arena_bytes = 1536 * kKiB;
+
+  // Replicated (tp=1) footprint: ~263K params x 18 B ≈ 4.5 MiB > 1.5 MiB.
+  EXPECT_THROW(
+      run_ranks(4,
+                [&](Communicator& comm) {
+                  MegatronEngine::Grid grid =
+                      MegatronEngine::make_grid(comm, 1);
+                  TpGpt model(mc, grid.tp);
+                  MegatronEngine engine(model, comm, std::move(grid),
+                                        [&] {
+                                          MegatronConfig c = cfg;
+                                          c.tp = 1;
+                                          return c;
+                                        }());
+                }),
+      OutOfMemoryError);
+
+  // tp=4 slices the blocks 4-ways: fits and trains.
+  run_ranks(4, [&](Communicator& comm) {
+    MegatronEngine::Grid grid = MegatronEngine::make_grid(comm, cfg.tp);
+    TpGpt model(mc, grid.tp);
+    MegatronEngine engine(model, comm, std::move(grid), cfg);
+    std::vector<std::int32_t> tokens(static_cast<std::size_t>(mc.seq), 3);
+    std::vector<std::int32_t> targets(tokens.size(), 4);
+    const auto st = engine.train_step(tokens, targets);
+    EXPECT_TRUE(std::isfinite(st.global_loss));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// The ZeRO + model-parallelism hybrid (Table 1's "mp" column): the ZeRO
+// engine runs over the data-parallel subgroup while the model itself is
+// tensor-parallel — with no changes to either component. The trajectory is
+// bit-identical to the Megatron baseline on the same grid, because ZeRO
+// partitioning is exact.
+
+TEST(HybridZeroMp, ZeroInfinityComposesWithTensorParallelism) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("zi_hybrid_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const TpGpt::Config mc = tiny_tp();
+  constexpr int kTp = 2;
+  constexpr int kWorld = 4;
+
+  auto batch_for = [&](int dp_rank, std::vector<std::int32_t>& tokens,
+                       std::vector<std::int32_t>& targets) {
+    tokens.resize(static_cast<std::size_t>(mc.seq));
+    targets.resize(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      tokens[i] = static_cast<std::int32_t>((dp_rank * 5 + i) % 31);
+      targets[i] = static_cast<std::int32_t>((tokens[i] + 1) % 31);
+    }
+  };
+
+  // Baseline: MegatronEngine on a tp=2 x dp=2 grid.
+  std::vector<float> baseline;
+  run_ranks(kWorld, [&](Communicator& comm) {
+    MegatronEngine::Grid grid = MegatronEngine::make_grid(comm, kTp);
+    TpGpt model(mc, grid.tp);
+    MegatronConfig cfg;
+    cfg.tp = kTp;
+    cfg.loss_scale.init_scale = 1024.0f;
+    const int dp_rank = grid.dp.rank();
+    MegatronEngine engine(model, comm, std::move(grid), cfg);
+    std::vector<std::int32_t> tokens, targets;
+    batch_for(dp_rank, tokens, targets);
+    for (int s = 0; s < 4; ++s) {
+      const auto st = engine.train_step(tokens, targets);
+      if (comm.rank() == 0) baseline.push_back(st.global_loss);
+    }
+  });
+
+  // Hybrid: the SAME tensor-parallel model under ZeRO-Infinity (stage 3,
+  // CPU-resident shards) over the dp subgroup.
+  std::vector<float> hybrid;
+  AioEngine aio;
+  run_ranks(kWorld, [&](Communicator& comm) {
+    Communicator tp = comm.split(comm.rank() / kTp);
+    Communicator dp = comm.split(comm.rank() % kTp);
+    TpGpt model(mc, tp);
+    EngineConfig cfg = preset_zero_infinity_cpu();
+    cfg.activation_placement = Placement::kGpu;  // TpGpt has no ckpt wrappers
+    cfg.nvme_dir = (dir / std::to_string(comm.rank() % kTp)).string();
+    cfg.loss_scale.init_scale = 1024.0f;
+    ZeroEngine engine(model, dp, aio, cfg);
+    std::vector<std::int32_t> tokens, targets;
+    batch_for(dp.rank(), tokens, targets);
+    for (int s = 0; s < 4; ++s) {
+      const auto st = engine.train_step(tokens, targets);
+      if (comm.rank() == 0) hybrid.push_back(st.global_loss);
+    }
+  });
+
+  ASSERT_EQ(baseline.size(), 4u);
+  ASSERT_EQ(hybrid.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(hybrid[i], baseline[i]) << "step " << i;
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace zi

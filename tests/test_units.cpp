@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace zi {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB + kGiB / 2), "1.50 GiB");
+  EXPECT_EQ(format_bytes(2 * kTiB), "2.00 TiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(25.0e9), "25.00 GB/s");
+  EXPECT_EQ(format_bandwidth(1.6e9), "1.60 GB/s");
+  EXPECT_EQ(format_bandwidth(3.5e6), "3.50 MB/s");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(1.0e12), "1.00T");
+  EXPECT_EQ(format_count(175.0e9), "175.00B");
+  EXPECT_EQ(format_count(1.4e9), "1.40B");
+  EXPECT_EQ(format_count(12.0e6), "12.00M");
+  EXPECT_EQ(format_count(42.0), "42");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(2.5), "2.500 s");
+  EXPECT_EQ(format_duration(0.012), "12.000 ms");
+  EXPECT_EQ(format_duration(42e-6), "42.0 us");
+}
+
+TEST(Units, AlignUp) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 8), 16u);
+  EXPECT_EQ(align_up(4095, 4096), 4096u);
+  EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(1000, 3), 334u);
+}
+
+}  // namespace
+}  // namespace zi
