@@ -17,13 +17,17 @@ namespace zi {
 // AioStatus
 
 struct AioStatus::State {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t pending = 0;
-  std::exception_ptr error;
+  /// `n` sub-requests outstanding; safe unguarded in the constructor — the
+  /// state is published to workers only via ThreadPool::enqueue afterwards.
+  explicit State(std::size_t n) : pending(n) {}
 
-  void complete_one(std::exception_ptr err) {
-    std::lock_guard<std::mutex> lock(mutex);
+  Mutex mutex{"AioStatus::State::mutex"};
+  CondVar cv;
+  std::size_t pending ZI_GUARDED_BY(mutex);
+  std::exception_ptr error ZI_GUARDED_BY(mutex);
+
+  void complete_one(std::exception_ptr err) ZI_EXCLUDES(mutex) {
+    LockGuard lock(mutex);
     if (err && !error) error = err;
     ZI_CHECK(pending > 0);
     if (--pending == 0) cv.notify_all();
@@ -32,14 +36,14 @@ struct AioStatus::State {
 
 void AioStatus::wait() const {
   if (!state_) return;  // default-constructed: trivially complete
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+  UniqueLock lock(state_->mutex);
+  while (state_->pending != 0) state_->cv.wait(lock);
   if (state_->error) std::rethrow_exception(state_->error);
 }
 
 bool AioStatus::done() const {
   if (!state_) return true;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   return state_->pending == 0;
 }
 
@@ -94,7 +98,7 @@ AioFile* AioEngine::open(const std::filesystem::path& path) {
   auto file = std::unique_ptr<AioFile>(
       new AioFile(path.string(), buffered_fd, direct_fd));
   AioFile* raw = file.get();
-  std::lock_guard<std::mutex> lock(files_mutex_);
+  LockGuard lock(files_mutex_);
   files_.push_back(std::move(file));
   return raw;
 }
@@ -124,14 +128,13 @@ void AioEngine::write(AioFile* file, std::uint64_t offset,
 AioStatus AioEngine::submit(AioFile* file, std::uint64_t offset,
                             std::byte* buf, std::size_t len, OpKind kind) {
   ZI_CHECK(file != nullptr);
-  auto state = std::make_shared<AioStatus::State>();
-  if (len == 0) return AioStatus(state);
+  if (len == 0) return AioStatus(std::make_shared<AioStatus::State>(0));
 
   const std::size_t num_blocks =
       (len + config_.block_bytes - 1) / config_.block_bytes;
-  state->pending = num_blocks;
+  auto state = std::make_shared<AioStatus::State>(num_blocks);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.requests;
     stats_.sub_requests += num_blocks;
     if (kind == OpKind::kRead) {
@@ -166,7 +169,7 @@ void AioEngine::run_sub_request(
     const bool use_direct = file->direct_fd_ >= 0 && aligned;
     const int fd = use_direct ? file->direct_fd_ : file->buffered_fd_;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      LockGuard lock(stats_mutex_);
       if (use_direct) {
         ++stats_.direct_ops;
       } else {
@@ -204,7 +207,7 @@ void AioEngine::run_sub_request(
 void AioEngine::drain() { pool_.wait_idle(); }
 
 AioEngine::Stats AioEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   return stats_;
 }
 

@@ -23,15 +23,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace zi {
@@ -128,7 +127,7 @@ class AioEngine {
   /// sub-request has completed.
   void drain();
 
-  Stats stats() const;
+  Stats stats() const ZI_EXCLUDES(stats_mutex_);
   const AioConfig& config() const noexcept { return config_; }
 
  private:
@@ -141,10 +140,10 @@ class AioEngine {
 
   AioConfig config_;
   ThreadPool pool_;
-  mutable std::mutex files_mutex_;
-  std::vector<std::unique_ptr<AioFile>> files_;
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable Mutex files_mutex_{"AioEngine::files_mutex_"};
+  std::vector<std::unique_ptr<AioFile>> files_ ZI_GUARDED_BY(files_mutex_);
+  mutable Mutex stats_mutex_{"AioEngine::stats_mutex_"};
+  Stats stats_ ZI_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace zi

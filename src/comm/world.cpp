@@ -56,7 +56,7 @@ Communicator Communicator::split(int color) {
   // successive split() calls from colliding.
   std::shared_ptr<detail::WorldShared> sub;
   {
-    std::lock_guard<std::mutex> lock(s.split_mutex);
+    LockGuard lock(s.split_mutex);
     auto& entry = s.split_groups[{split_calls_, color}];
     if (!entry) {
       entry = std::make_shared<detail::WorldShared>(

@@ -14,10 +14,8 @@
 
 #include <atomic>
 #include <barrier>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -27,6 +25,7 @@
 
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace zi {
 
@@ -55,9 +54,9 @@ struct P2pMessage {
 
 /// FIFO channel between one (sender, receiver) pair.
 struct P2pChannel {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<P2pMessage> queue;
+  Mutex mutex{"P2pChannel::mutex"};
+  CondVar cv;
+  std::deque<P2pMessage> queue ZI_GUARDED_BY(mutex);
 };
 
 /// State shared by all ranks of one World.
@@ -78,6 +77,9 @@ struct WorldShared {
 
   int num_ranks;
   std::barrier<> sync;
+  // src_ptrs / dst_ptrs / counts are NOT lock-guarded: each rank writes only
+  // its own slot and all cross-rank reads are ordered by `sync` barriers
+  // (arrive_and_wait provides the happens-before edge TSan checks).
   std::vector<const void*> src_ptrs;
   std::vector<void*> dst_ptrs;
   std::vector<std::size_t> counts;
@@ -87,8 +89,9 @@ struct WorldShared {
   // Subgroup registry for split(): keyed by (per-rank split-call ordinal,
   // color); the first member to arrive creates the subgroup's shared
   // state, everyone else joins it.
-  std::mutex split_mutex;
-  std::map<std::pair<int, int>, std::shared_ptr<WorldShared>> split_groups;
+  Mutex split_mutex{"WorldShared::split_mutex"};
+  std::map<std::pair<int, int>, std::shared_ptr<WorldShared>> split_groups
+      ZI_GUARDED_BY(split_mutex);
 };
 }  // namespace detail
 
@@ -192,7 +195,7 @@ void Communicator::send(std::span<const T> data, int to, int tag) {
   msg.payload.resize(data.size_bytes());
   std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
   {
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    LockGuard lock(ch.mutex);
     ch.queue.push_back(std::move(msg));
   }
   ch.cv.notify_one();
@@ -204,8 +207,8 @@ void Communicator::recv(std::span<T> data, int from, int tag) {
   auto& s = *shared_;
   ZI_CHECK(from >= 0 && from < s.num_ranks && from != rank_);
   detail::P2pChannel& ch = s.channel(from, rank_);
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+  UniqueLock lock(ch.mutex);
+  while (ch.queue.empty()) ch.cv.wait(lock);
   detail::P2pMessage msg = std::move(ch.queue.front());
   ch.queue.pop_front();
   ZI_CHECK_MSG(msg.tag == tag, "p2p tag mismatch: expected "

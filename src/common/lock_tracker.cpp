@@ -1,0 +1,287 @@
+#include "common/lock_tracker.hpp"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace zi {
+
+namespace detail {
+
+std::atomic<bool> g_lock_tracker_enabled{[] {
+  const char* env = std::getenv("ZI_LOCK_TRACKER");
+  return env != nullptr && env[0] == '1';
+}()};
+
+}  // namespace detail
+
+namespace {
+
+struct HeldLock {
+  const void* mutex;
+  const char* name;
+};
+
+// Per-thread held-lock stack. Plain vector: depth is tiny (the codebase's
+// discipline is leaf locks, so 0 or 1 in practice).
+thread_local std::vector<HeldLock> t_held;
+
+// Re-entrancy guard: tracker internals (and the violation handler, which
+// typically logs) acquire zi::Mutexes of their own; those acquisitions must
+// not recurse into the tracker.
+thread_local bool t_in_hook = false;
+
+std::string ptr_str(const void* p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+}  // namespace
+
+struct LockTracker::Impl {
+  struct Node {
+    const char* name = "?";
+    std::unordered_set<const void*> succ;  ///< "this was held when succ locked"
+  };
+
+  mutable std::mutex mutex;  // raw std::mutex: must never re-enter the tracker
+  std::unordered_map<const void*, Node> graph;
+  std::vector<Violation> violations;
+  std::unordered_set<std::uint64_t> reported_pairs;  // dedupe per (A,B) edge
+  Handler handler;
+
+  // BFS over succ edges; fills `parents` for path reconstruction.
+  bool reachable(const void* from, const void* to,
+                 std::unordered_map<const void*, const void*>* parents) const {
+    std::unordered_set<const void*> visited{from};
+    std::deque<const void*> frontier{from};
+    while (!frontier.empty()) {
+      const void* cur = frontier.front();
+      frontier.pop_front();
+      auto it = graph.find(cur);
+      if (it == graph.end()) continue;
+      for (const void* next : it->second.succ) {
+        if (!visited.insert(next).second) continue;
+        (*parents)[next] = cur;
+        if (next == to) return true;
+        frontier.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  const char* node_name(const void* m) const {
+    auto it = graph.find(m);
+    return it == graph.end() ? "?" : it->second.name;
+  }
+
+  std::string dump_locked() const {
+    std::ostringstream os;
+    os << "lock-order graph (edge A -> B: B was acquired while A held):\n";
+    for (const auto& [m, node] : graph) {
+      for (const void* s : node.succ) {
+        os << "  \"" << node.name << "\" (" << m << ") -> \"" << node_name(s)
+           << "\" (" << s << ")\n";
+      }
+    }
+    os << "recorded violations: " << violations.size() << "\n";
+    for (const auto& v : violations) {
+      os << "  [" << (v.kind == ViolationKind::kOrderInversion ? "inversion"
+                                                               : "recursion")
+         << "] " << v.description << "\n";
+    }
+    return os.str();
+  }
+};
+
+LockTracker& LockTracker::instance() {
+  static LockTracker tracker;
+  return tracker;
+}
+
+LockTracker::Impl& LockTracker::impl() const {
+  // Leaked on purpose: zi::Mutex destructors may fire during static teardown
+  // after a function-local static Impl would already be gone.
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+bool LockTracker::enabled() const noexcept {
+  return detail::lock_tracker_enabled();
+}
+
+void LockTracker::set_enabled(bool on) noexcept {
+  detail::g_lock_tracker_enabled.store(on, std::memory_order_relaxed);
+}
+
+LockTracker::Handler LockTracker::set_violation_handler(Handler h) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Handler prev = std::move(i.handler);
+  i.handler = std::move(h);
+  return prev;
+}
+
+std::uint64_t LockTracker::violation_count() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.violations.size();
+}
+
+std::vector<LockTracker::Violation> LockTracker::violations() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.violations;
+}
+
+std::size_t LockTracker::held_count() const { return t_held.size(); }
+
+std::string LockTracker::report() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.dump_locked();
+}
+
+void LockTracker::clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.graph.clear();
+  i.violations.clear();
+  i.reported_pairs.clear();
+}
+
+void LockTracker::before_lock(const void* mutex, const char* name) {
+  if (t_in_hook) return;
+  t_in_hook = true;
+
+  Violation violation;
+  bool violated = false;
+
+  // Same-thread recursive acquisition: guaranteed deadlock on std::mutex.
+  for (const HeldLock& held : t_held) {
+    if (held.mutex == mutex) {
+      violation.kind = ViolationKind::kRecursiveAcquisition;
+      violation.description = "recursive acquisition of \"" +
+                              std::string(name) + "\" (" + ptr_str(mutex) +
+                              "): the calling thread already holds it";
+      violated = true;
+      break;
+    }
+  }
+
+  Impl& i = impl();
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto& node = i.graph[mutex];
+    node.name = name;
+    if (!violated) {
+      for (const HeldLock& held : t_held) {
+        // Inversion check first: does `mutex -> ... -> held` already exist?
+        // If so, adding `held -> mutex` closes a cycle.
+        std::unordered_map<const void*, const void*> parents;
+        const bool cycle = i.reachable(mutex, held.mutex, &parents);
+        i.graph[held.mutex].name = held.name;
+        i.graph[held.mutex].succ.insert(mutex);
+        if (!cycle) continue;
+        // Dedupe: one report per offending (held, mutex) pair.
+        const auto key =
+            (reinterpret_cast<std::uintptr_t>(held.mutex) << 16) ^
+            reinterpret_cast<std::uintptr_t>(mutex);
+        if (!i.reported_pairs.insert(key).second) continue;
+        std::ostringstream os;
+        os << "lock-order inversion: acquiring \"" << name << "\" ("
+           << mutex << ") while holding \"" << held.name << "\" ("
+           << held.mutex << "), but the opposite order \"" << name << "\"";
+        // Reconstruct the previously-observed path mutex -> ... -> held.
+        std::vector<const void*> path{held.mutex};
+        for (const void* p = held.mutex; p != mutex;) {
+          p = parents[p];
+          path.push_back(p);
+        }
+        for (auto it = path.rbegin() + 1; it != path.rend(); ++it) {
+          os << " -> \"" << i.node_name(*it) << "\"";
+        }
+        os << " was previously observed; potential deadlock";
+        violation.kind = ViolationKind::kOrderInversion;
+        violation.description = os.str();
+        violated = true;
+        break;
+      }
+    }
+    if (violated) {
+      i.violations.push_back(violation);
+      handler = i.handler;
+    }
+  }
+
+  if (violated) {
+    if (handler) {
+      // Handler may throw to abort the acquisition before it deadlocks; the
+      // guard must be cleared either way.
+      try {
+        handler(violation);
+      } catch (...) {
+        t_in_hook = false;
+        throw;
+      }
+    } else {
+      ZI_LOG_ERROR << "[lock_tracker] " << violation.description << "\n"
+                   << report();
+    }
+  }
+  t_in_hook = false;
+}
+
+void LockTracker::after_lock(const void* mutex, const char* name) {
+  if (t_in_hook) return;
+  t_held.push_back({mutex, name});
+}
+
+void LockTracker::on_unlock(const void* mutex) {
+  if (t_in_hook) return;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockTracker::on_destroy(const void* mutex) {
+  if (t_in_hook) return;
+  t_in_hook = true;
+  Impl& i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.graph.erase(mutex);
+    for (auto& [m, node] : i.graph) node.succ.erase(mutex);
+  }
+  t_in_hook = false;
+}
+
+namespace detail {
+
+void tracker_before_lock(const void* mutex, const char* name) {
+  LockTracker::instance().before_lock(mutex, name);
+}
+void tracker_after_lock(const void* mutex, const char* name) {
+  LockTracker::instance().after_lock(mutex, name);
+}
+void tracker_on_unlock(const void* mutex) {
+  LockTracker::instance().on_unlock(mutex);
+}
+void tracker_on_destroy(const void* mutex) {
+  LockTracker::instance().on_destroy(mutex);
+}
+
+}  // namespace detail
+
+}  // namespace zi

@@ -1,13 +1,16 @@
 #include "common/log.hpp"
 
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace zi {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+// Leaf lock: nothing else is ever acquired while emitting (see DESIGN.md
+// "Locking & sanitizer policy").
+Mutex g_emit_mutex{"log::g_emit_mutex"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +29,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  LockGuard lock(g_emit_mutex);
   std::fprintf(stderr, "[zi %s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> fn) {
   ZI_CHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ZI_CHECK_MSG(!stop_, "enqueue after ThreadPool shutdown");
     queue_.push_back(std::move(fn));
   }
@@ -32,12 +32,12 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) cv_idle_.wait(lock);
 }
 
 std::uint64_t ThreadPool::tasks_completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return completed_;
 }
 
@@ -45,8 +45,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -54,7 +54,7 @@ void ThreadPool::worker_loop() {
     }
     task();  // exceptions surface via packaged_task futures
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       ++completed_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();

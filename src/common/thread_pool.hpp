@@ -8,13 +8,13 @@
 // DeepNVMe.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace zi {
 
@@ -38,26 +38,28 @@ class ThreadPool {
   }
 
   /// Enqueue fire-and-forget work (completion tracked by wait_idle()).
-  void enqueue(std::function<void()> fn);
+  void enqueue(std::function<void()> fn) ZI_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() ZI_EXCLUDES(mutex_);
 
+  /// Worker count; workers_ is immutable after construction, so this is
+  /// safe to read without the mutex.
   std::size_t size() const { return workers_.size(); }
   /// Total tasks executed since construction (for engine statistics).
-  std::uint64_t tasks_completed() const;
+  std::uint64_t tasks_completed() const ZI_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() ZI_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mutex_{"ThreadPool::mutex_"};
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ ZI_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  std::uint64_t completed_ = 0;
-  bool stop_ = false;
+  std::size_t active_ ZI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ ZI_GUARDED_BY(mutex_) = 0;
+  bool stop_ ZI_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace zi

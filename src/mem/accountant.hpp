@@ -2,7 +2,11 @@
 //
 // The offload engine reports where every model-state byte lives (GPU, CPU,
 // NVMe), mirroring the placement tables of the paper (Table 2). Counters are
-// atomic because rank threads and I/O workers update them concurrently.
+// atomic because rank threads and I/O workers update them concurrently —
+// this class is deliberately lock-free, so it carries no ZI_GUARDED_BY
+// annotations (see DESIGN.md "Locking & sanitizer policy"). The peak counter
+// is only monotonically approximate under concurrent add(): the CAS loop
+// can miss a transient maximum, which is acceptable for reporting.
 #pragma once
 
 #include <array>

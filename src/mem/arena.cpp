@@ -57,7 +57,7 @@ ArenaBlock DeviceArena::allocate(std::uint64_t bytes, std::uint64_t alignment) {
   if (bytes == 0) bytes = 1;
   const std::uint64_t size = align_up(bytes, alignment);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t free_total = capacity_ - stats_.used - reserved_bytes_;
   // First-fit: earliest span whose aligned start still fits `size`.
   for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
@@ -100,7 +100,7 @@ ArenaBlock DeviceArena::allocate(std::uint64_t bytes, std::uint64_t alignment) {
 
 void DeviceArena::prefragment(std::uint64_t chunk_bytes) {
   ZI_CHECK(chunk_bytes > 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ZI_CHECK_MSG(stats_.used == 0 && reserved_bytes_ == 0,
                "prefragment requires a fully free arena");
   free_spans_.clear();
@@ -119,7 +119,7 @@ void DeviceArena::prefragment(std::uint64_t chunk_bytes) {
 }
 
 void DeviceArena::deallocate(std::uint64_t offset, std::uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ZI_CHECK(stats_.used >= size);
   stats_.used -= size;
   ++stats_.num_frees;
@@ -144,24 +144,24 @@ void DeviceArena::deallocate(std::uint64_t offset, std::uint64_t size) {
 }
 
 DeviceArena::Stats DeviceArena::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Stats s = stats_;
   s.largest_free_block = largest_free_locked();
   return s;
 }
 
 std::uint64_t DeviceArena::used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stats_.used;
 }
 
 std::uint64_t DeviceArena::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return capacity_ - stats_.used - reserved_bytes_;
 }
 
 std::uint64_t DeviceArena::largest_free_block() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return largest_free_locked();
 }
 

@@ -22,9 +22,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "mem/aligned.hpp"
 
 namespace zi {
@@ -88,39 +88,41 @@ class DeviceArena {
 
   /// Allocate `bytes` (rounded up to `alignment`). First-fit over the free
   /// list. Throws OutOfMemoryError on capacity or contiguity failure.
-  ArenaBlock allocate(std::uint64_t bytes, std::uint64_t alignment = 256);
+  ArenaBlock allocate(std::uint64_t bytes, std::uint64_t alignment = 256)
+      ZI_EXCLUDES(mutex_);
 
   /// Split the entire free space into chunks of at most `chunk_bytes` so
   /// that no future allocation larger than `chunk_bytes` can succeed. This
   /// is the paper's Fig. 6b pre-fragmentation protocol. Must be called on a
   /// fully free arena.
-  void prefragment(std::uint64_t chunk_bytes);
+  void prefragment(std::uint64_t chunk_bytes) ZI_EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const ZI_EXCLUDES(mutex_);
   std::uint64_t capacity() const noexcept { return capacity_; }
-  std::uint64_t used() const;
-  std::uint64_t free_bytes() const;
+  std::uint64_t used() const ZI_EXCLUDES(mutex_);
+  std::uint64_t free_bytes() const ZI_EXCLUDES(mutex_);
   /// Largest single allocation the arena could satisfy right now.
-  std::uint64_t largest_free_block() const;
+  std::uint64_t largest_free_block() const ZI_EXCLUDES(mutex_);
   const std::string& name() const noexcept { return name_; }
   Mode mode() const noexcept { return mode_; }
 
  private:
   friend class ArenaBlock;
-  void deallocate(std::uint64_t offset, std::uint64_t size);
-  std::uint64_t largest_free_locked() const;  // caller holds mutex_
+  void deallocate(std::uint64_t offset, std::uint64_t size)
+      ZI_EXCLUDES(mutex_);
+  std::uint64_t largest_free_locked() const ZI_REQUIRES(mutex_);
 
   std::string name_;
   std::uint64_t capacity_;
   Mode mode_;
   AlignedBuffer backing_;  // null in kVirtual mode
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"DeviceArena::mutex_"};
   // Free spans keyed by offset -> size; adjacent spans are coalesced on free.
-  std::map<std::uint64_t, std::uint64_t> free_spans_;
+  std::map<std::uint64_t, std::uint64_t> free_spans_ ZI_GUARDED_BY(mutex_);
   // Reserved spans created by prefragment() are never returned.
-  std::uint64_t reserved_bytes_ = 0;
-  Stats stats_;
+  std::uint64_t reserved_bytes_ ZI_GUARDED_BY(mutex_) = 0;
+  Stats stats_ ZI_GUARDED_BY(mutex_);
 };
 
 }  // namespace zi

@@ -50,16 +50,16 @@ PinnedBufferPool::PinnedBufferPool(std::size_t buffer_bytes,
 }
 
 PinnedLease PinnedBufferPool::acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (free_indices_.empty()) {
     ++stats_.blocked_acquires;
-    cv_.wait(lock, [this] { return !free_indices_.empty(); });
+    while (free_indices_.empty()) cv_.wait(lock);
   }
   return make_lease_locked();
 }
 
 std::optional<PinnedLease> PinnedBufferPool::try_acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (free_indices_.empty()) return std::nullopt;
   return make_lease_locked();
 }
@@ -75,19 +75,19 @@ PinnedLease PinnedBufferPool::make_lease_locked() {
 
 void PinnedBufferPool::release(std::size_t index) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     free_indices_.push_back(index);
   }
   cv_.notify_one();
 }
 
 std::size_t PinnedBufferPool::available() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return free_indices_.size();
 }
 
 PinnedBufferPool::Stats PinnedBufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stats_;
 }
 

@@ -12,12 +12,11 @@
 // that does not change the reuse logic; see DESIGN.md substitutions).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "mem/aligned.hpp"
 
 namespace zi {
@@ -70,28 +69,28 @@ class PinnedBufferPool {
   PinnedBufferPool& operator=(const PinnedBufferPool&) = delete;
 
   /// Acquire a buffer, blocking until one is free.
-  PinnedLease acquire();
+  PinnedLease acquire() ZI_EXCLUDES(mutex_);
 
   /// Acquire without blocking; nullopt if all buffers are leased.
-  std::optional<PinnedLease> try_acquire();
+  std::optional<PinnedLease> try_acquire() ZI_EXCLUDES(mutex_);
 
   std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
   std::size_t num_buffers() const noexcept { return buffers_.size(); }
-  std::size_t available() const;
-  Stats stats() const;
+  std::size_t available() const ZI_EXCLUDES(mutex_);
+  Stats stats() const ZI_EXCLUDES(mutex_);
 
  private:
   friend class PinnedLease;
-  void release(std::size_t index);
-  PinnedLease make_lease_locked();
+  void release(std::size_t index) ZI_EXCLUDES(mutex_);
+  PinnedLease make_lease_locked() ZI_REQUIRES(mutex_);
 
   std::size_t buffer_bytes_;
   std::vector<AlignedBuffer> buffers_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::size_t> free_indices_;
-  Stats stats_;
+  mutable Mutex mutex_{"PinnedBufferPool::mutex_"};
+  CondVar cv_;
+  std::vector<std::size_t> free_indices_ ZI_GUARDED_BY(mutex_);
+  Stats stats_ ZI_GUARDED_BY(mutex_);
 };
 
 }  // namespace zi
