@@ -5,11 +5,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "mem/aligned.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace zi {
 
@@ -25,10 +28,17 @@ struct AioStatus::State {
   CondVar cv;
   std::size_t pending ZI_GUARDED_BY(mutex);
   std::exception_ptr error ZI_GUARDED_BY(mutex);
+  int error_code ZI_GUARDED_BY(mutex) = 0;        ///< first failure's errno
+  std::uint64_t bytes_ok ZI_GUARDED_BY(mutex) = 0;
 
-  void complete_one(std::exception_ptr err) ZI_EXCLUDES(mutex) {
+  void complete_one(std::exception_ptr err, int err_code,
+                    std::uint64_t bytes) ZI_EXCLUDES(mutex) {
     LockGuard lock(mutex);
-    if (err && !error) error = err;
+    if (err && !error) {
+      error = err;
+      error_code = err_code;
+    }
+    bytes_ok += bytes;
     ZI_CHECK(pending > 0);
     if (--pending == 0) cv.notify_all();
   }
@@ -47,6 +57,24 @@ bool AioStatus::done() const {
   return state_->pending == 0;
 }
 
+bool AioStatus::ok() const {
+  if (!state_) return true;
+  LockGuard lock(state_->mutex);
+  return state_->pending == 0 && !state_->error;
+}
+
+int AioStatus::error_code() const {
+  if (!state_) return 0;
+  LockGuard lock(state_->mutex);
+  return state_->error_code;
+}
+
+std::uint64_t AioStatus::bytes_transferred() const {
+  if (!state_) return 0;
+  LockGuard lock(state_->mutex);
+  return state_->bytes_ok;
+}
+
 // ---------------------------------------------------------------------------
 // AioFile
 
@@ -63,7 +91,13 @@ std::uint64_t AioFile::size() const {
 
 void AioFile::resize(std::uint64_t bytes) {
   if (::ftruncate(buffered_fd_, static_cast<off_t>(bytes)) != 0) {
-    throw IoError("ftruncate(" + path_ + "): " + std::strerror(errno));
+    throw IoError("ftruncate(" + path_ + "): " + std::strerror(errno), errno);
+  }
+}
+
+void AioFile::sync() {
+  if (::fsync(buffered_fd_) != 0) {
+    throw IoError("fsync(" + path_ + "): " + std::strerror(errno), errno);
   }
 }
 
@@ -85,7 +119,8 @@ AioFile* AioEngine::open(const std::filesystem::path& path) {
   const int buffered_fd =
       ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (buffered_fd < 0) {
-    throw IoError("open(" + path.string() + "): " + std::strerror(errno));
+    throw IoError("open(" + path.string() + "): " + std::strerror(errno),
+                  errno);
   }
   int direct_fd = -1;
   if (config_.try_odirect) {
@@ -161,6 +196,8 @@ void AioEngine::run_sub_request(
     AioFile* file, std::uint64_t offset, std::byte* buf, std::size_t len,
     OpKind kind, const std::shared_ptr<AioStatus::State>& state) {
   std::exception_ptr error;
+  int error_code = 0;
+  std::size_t done = 0;  // bytes transferred by the last (partial) attempt
   try {
     // O_DIRECT eligibility: aligned offset, length, and buffer address.
     const bool aligned = (offset % kIoAlignment == 0) &&
@@ -168,6 +205,8 @@ void AioEngine::run_sub_request(
                          (reinterpret_cast<std::uintptr_t>(buf) % kIoAlignment == 0);
     const bool use_direct = file->direct_fd_ >= 0 && aligned;
     const int fd = use_direct ? file->direct_fd_ : file->buffered_fd_;
+    const FaultSite site =
+        kind == OpKind::kRead ? FaultSite::kAioRead : FaultSite::kAioWrite;
     {
       LockGuard lock(stats_mutex_);
       if (use_direct) {
@@ -177,31 +216,88 @@ void AioEngine::run_sub_request(
       }
     }
 
-    std::size_t done = 0;
-    while (done < len) {
-      ssize_t n;
-      if (kind == OpKind::kRead) {
-        n = ::pread(fd, buf + done, len - done,
-                    static_cast<off_t>(offset + done));
-      } else {
-        n = ::pwrite(fd, buf + done, len - done,
-                     static_cast<off_t>(offset + done));
+    // Bounded retry-with-backoff: pread/pwrite over a fixed range are
+    // idempotent, so a failed attempt restarts the whole sub-request. Real
+    // transient errors (EIO on a flaky device, EAGAIN) and injected ones
+    // take the same path.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        done = 0;
+        while (done < len) {
+          std::size_t req = len - done;
+          if (FaultInjector::armed()) {
+            const FaultDecision fault = fault_check(site);
+            if (fault.delay_us != 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(fault.delay_us));
+            }
+            if (fault.error) {
+              throw IoError(
+                  std::string(kind == OpKind::kRead ? "pread(" : "pwrite(") +
+                      file->path_ + "): injected EIO at offset " +
+                      std::to_string(offset + done),
+                  EIO);
+            }
+            // Short transfer: hand the syscall half the remaining range;
+            // the resume loop picks up the rest (what a real short count
+            // exercises). O_DIRECT is exempt — an unaligned length would
+            // turn the short into a spurious EINVAL.
+            if (fault.short_op && !use_direct && req > 1) req = (req + 1) / 2;
+          }
+          ssize_t n;
+          if (kind == OpKind::kRead) {
+            n = ::pread(fd, buf + done, req, static_cast<off_t>(offset + done));
+          } else {
+            n = ::pwrite(fd, buf + done, req,
+                         static_cast<off_t>(offset + done));
+          }
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            throw IoError(
+                std::string(kind == OpKind::kRead ? "pread(" : "pwrite(") +
+                    file->path_ + "): " + std::strerror(errno),
+                errno);
+          }
+          if (n == 0 && kind == OpKind::kRead) {
+            throw IoError("pread(" + file->path_ +
+                              "): unexpected EOF at offset " +
+                              std::to_string(offset + done),
+                          0);
+          }
+          done += static_cast<std::size_t>(n);
+        }
+        break;  // attempt succeeded
+      } catch (const IoError& e) {
+        if (attempt >= config_.max_retries) {
+          {
+            LockGuard lock(stats_mutex_);
+            ++stats_.retries_exhausted;
+          }
+          throw RetriesExhaustedError(
+              std::string(e.what()) + " (after " +
+                  std::to_string(attempt + 1) + " attempts)",
+              e.error_code(), attempt + 1);
+        }
+        {
+          LockGuard lock(stats_mutex_);
+          ++stats_.retries;
+        }
+        if (config_.retry_backoff_us > 0) {
+          const int shift = attempt < 10 ? attempt : 10;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              config_.retry_backoff_us << shift));
+        }
       }
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw IoError(std::string(kind == OpKind::kRead ? "pread(" : "pwrite(") +
-                      file->path_ + "): " + std::strerror(errno));
-      }
-      if (n == 0 && kind == OpKind::kRead) {
-        throw IoError("pread(" + file->path_ + "): unexpected EOF at offset " +
-                      std::to_string(offset + done));
-      }
-      done += static_cast<std::size_t>(n);
     }
+  } catch (const IoError& e) {
+    error_code = e.error_code();
+    error = std::current_exception();
   } catch (...) {
     error = std::current_exception();
   }
-  state->complete_one(error);
+  // On failure `done` reports the failing attempt's partial progress — the
+  // short-byte-count callers see through AioStatus::bytes_transferred().
+  state->complete_one(error, error_code, error ? done : len);
 }
 
 void AioEngine::drain() { pool_.wait_idle(); }

@@ -44,6 +44,12 @@ struct AioConfig {
   /// Attempt O_DIRECT. Unaligned requests transparently use a buffered
   /// descriptor for the same file.
   bool try_odirect = false;
+  /// Transient-failure policy: a sub-request that fails with an I/O error
+  /// (real or injected) is retried up to this many times before the error
+  /// surfaces as RetriesExhaustedError through AioStatus::wait().
+  int max_retries = 4;
+  /// Base backoff between retries; doubles per attempt (exponential).
+  std::uint64_t retry_backoff_us = 20;
 };
 
 /// Completion handle for one submitted request (possibly many sub-requests).
@@ -54,6 +60,15 @@ class AioStatus {
   AioStatus() = default;
   void wait() const;
   bool done() const;
+  /// done() with no error recorded. False while sub-requests are in flight.
+  bool ok() const;
+  /// errno of the first failed sub-request (0 = no failure so far). Unlike
+  /// wait(), reading this never throws — callers that poll instead of
+  /// waiting still see the failure.
+  int error_code() const;
+  /// Bytes actually transferred by completed sub-requests; short of the
+  /// request size exactly when a sub-request failed mid-range.
+  std::uint64_t bytes_transferred() const;
 
  private:
   friend class AioEngine;
@@ -77,6 +92,9 @@ class AioFile {
   std::uint64_t size() const;
   /// Extend/truncate to `bytes`.
   void resize(std::uint64_t bytes);
+  /// Flush file data and metadata to stable storage (fsync). The durability
+  /// point of the atomic-checkpoint protocol (write-tmp → fsync → rename).
+  void sync();
 
  private:
   friend class AioEngine;
@@ -97,6 +115,8 @@ class AioEngine {
     std::uint64_t sub_requests = 0;   ///< block-level operations scheduled
     std::uint64_t direct_ops = 0;     ///< sub-requests served via O_DIRECT
     std::uint64_t buffered_ops = 0;   ///< sub-requests served buffered
+    std::uint64_t retries = 0;        ///< sub-request attempts after failure
+    std::uint64_t retries_exhausted = 0;  ///< sub-requests that gave up
   };
 
   explicit AioEngine(AioConfig config = {});

@@ -1,6 +1,7 @@
 #include "aio/nvme_store.hpp"
 
 #include "common/error.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace zi {
 
@@ -14,6 +15,12 @@ NvmeStore::NvmeStore(AioEngine& engine, const std::filesystem::path& path,
 }
 
 Extent NvmeStore::allocate(std::uint64_t bytes) {
+  if (FaultInjector::armed() &&
+      fault_check(FaultSite::kNvmeAllocate).error) {
+    throw OutOfMemoryError("nvme store '" + path_ +
+                           "': injected allocation failure (" +
+                           std::to_string(bytes) + " bytes)");
+  }
   // Align extents so whole-extent transfers stay O_DIRECT-eligible.
   return Extent(extents_->allocate(bytes, kIoAlignment));
 }

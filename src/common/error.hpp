@@ -28,10 +28,39 @@ class OutOfMemoryError : public Error {
   explicit OutOfMemoryError(const std::string& what) : Error(what) {}
 };
 
-/// Raised by the I/O engine when a file operation fails.
+/// Raised by the I/O engine when a file operation fails. Carries the
+/// originating errno (0 when the failure has no syscall error code) so
+/// callers can distinguish, e.g., EIO from ENOSPC.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what, int error_code = 0)
+      : Error(what), error_code_(error_code) {}
+  int error_code() const noexcept { return error_code_; }
+
+ private:
+  int error_code_;
+};
+
+/// Raised when an I/O sub-request still fails after the engine's bounded
+/// retry-with-backoff (AioConfig::max_retries). Reaching this means the
+/// failure is persistent, not transient — callers should treat the target
+/// device/file as unhealthy.
+class RetriesExhaustedError : public IoError {
+ public:
+  RetriesExhaustedError(const std::string& what, int error_code, int attempts)
+      : IoError(what, error_code), attempts_(attempts) {}
+  int attempts() const noexcept { return attempts_; }
+
+ private:
+  int attempts_;
+};
+
+/// Raised when a checkpoint fails integrity verification on load (manifest
+/// missing/unparsable, size mismatch, or checksum mismatch). Recovery code
+/// catches this to fall back to an older checkpoint.
+class CheckpointCorruptionError : public Error {
+ public:
+  explicit CheckpointCorruptionError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

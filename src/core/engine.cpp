@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "core/ckpt_io.hpp"
 #include "optim/adam.hpp"
 #include "tensor/cast.hpp"
 
@@ -28,7 +29,7 @@ ZeroEngine::ZeroEngine(TrainableModel& model, Communicator& comm,
       res_(comm.rank(), aio, config.gpu_arena_bytes, config.nvme_capacity,
            ensure_nvme_dir(config), config.pinned_buffer_bytes,
            config.pinned_buffer_count, DeviceArena::Mode::kReal,
-           config.gpu_prefragment_chunk),
+           config.gpu_prefragment_chunk, config.spill_on_oom),
       store_(res_, config_, model.module().all_parameters(), comm.rank(),
              comm.size()),
       driver_(store_, res_, comm_, config_),
@@ -359,19 +360,19 @@ void ZeroEngine::save_checkpoint(const std::string& path) {
     }
   }
   if (comm_.rank() == 0) {
-    AioFile* f = res_.aio().open(path);
-    f->resize(blob.size());
-    res_.aio().write(f, 0, blob);
+    // Atomic protocol (ckpt_io): tmp + fsync + rename, checksum manifest as
+    // the commit point. A crash mid-save never clobbers the previous
+    // checkpoint at `path`.
+    write_checkpoint_file(res_.aio(), path, blob);
   }
   comm_.barrier();  // the file is complete before anyone proceeds
 }
 
 void ZeroEngine::load_checkpoint(const std::string& path) {
   comm_.barrier();
-  AioFile* f = res_.aio().open(path);
-  std::vector<std::byte> blob(f->size());
-  res_.aio().read(f, 0, blob);
-  CkptReader reader(std::move(blob));
+  // Every rank reads and verifies independently; corruption throws
+  // CheckpointCorruptionError before any engine state is touched.
+  CkptReader reader(read_checkpoint_file(res_.aio(), path));
 
   ZI_CHECK_MSG(reader.read_pod<std::uint64_t>() == kCkptMagic,
                "not a ZeRO-Infinity checkpoint: " << path);

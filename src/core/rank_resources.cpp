@@ -9,8 +9,9 @@ RankResources::RankResources(int rank, AioEngine& aio,
                              std::size_t pinned_buffer_bytes,
                              std::size_t pinned_buffer_count,
                              DeviceArena::Mode arena_mode,
-                             std::uint64_t gpu_prefragment_chunk)
-    : rank_(rank), aio_(aio) {
+                             std::uint64_t gpu_prefragment_chunk,
+                             bool spill_on_oom)
+    : rank_(rank), aio_(aio), spill_on_oom_(spill_on_oom) {
   gpu_ = std::make_unique<DeviceArena>("gpu[" + std::to_string(rank) + "]",
                                        gpu_arena_bytes, arena_mode);
   if (gpu_prefragment_chunk != 0) gpu_->prefragment(gpu_prefragment_chunk);

@@ -31,9 +31,17 @@ class RankResources {
                 std::size_t pinned_buffer_bytes,
                 std::size_t pinned_buffer_count,
                 DeviceArena::Mode arena_mode = DeviceArena::Mode::kReal,
-                std::uint64_t gpu_prefragment_chunk = 0);
+                std::uint64_t gpu_prefragment_chunk = 0,
+                bool spill_on_oom = false);
 
   int rank() const noexcept { return rank_; }
+  /// Graceful-degradation policy: when true, a TierBuffer whose home tier
+  /// cannot satisfy the allocation (GPU arena OOM, NVMe swap exhaustion)
+  /// falls back to the CPU tier instead of propagating OutOfMemoryError.
+  /// Spills are counted in the accountant. Off by default — the capacity
+  /// experiments rely on OOM being a hard signal.
+  bool spill_on_oom() const noexcept { return spill_on_oom_; }
+  void set_spill_on_oom(bool on) noexcept { spill_on_oom_ = on; }
   DeviceArena& gpu() noexcept { return *gpu_; }
   NvmeStore& nvme() noexcept { return *nvme_; }
   PinnedBufferPool& pinned() noexcept { return *pinned_; }
@@ -48,6 +56,7 @@ class RankResources {
   std::unique_ptr<NvmeStore> nvme_;
   std::unique_ptr<PinnedBufferPool> pinned_;
   MemoryAccountant accountant_;
+  bool spill_on_oom_ = false;
 };
 
 }  // namespace zi

@@ -3,21 +3,53 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace zi {
 
 TierBuffer::TierBuffer(RankResources& res, Tier tier, std::uint64_t bytes)
-    : res_(&res), tier_(tier), bytes_(bytes) {
+    : res_(&res), tier_(tier), requested_tier_(tier), bytes_(bytes) {
   ZI_CHECK(bytes > 0);
   switch (tier_) {
     case Tier::kGpu:
-      gpu_block_ = res.gpu().allocate(bytes);
+      // Graceful degradation (opt-in): GPU arena exhaustion spills the
+      // buffer to host memory instead of aborting the run. The bytes are
+      // identical wherever they live, so trajectories stay bit-exact.
+      if (res.spill_on_oom()) {
+        try {
+          gpu_block_ = res.gpu().allocate(bytes);
+        } catch (const OutOfMemoryError& e) {
+          ZI_LOG_WARN << "TierBuffer: GPU allocation failed ("
+                      << e.what() << "); spilling " << bytes
+                      << " bytes to CPU";
+          tier_ = Tier::kCpu;
+          cpu_.resize(bytes);
+          res_->accountant().note_spill(Tier::kGpu);
+        }
+      } else {
+        gpu_block_ = res.gpu().allocate(bytes);
+      }
       break;
     case Tier::kCpu:
       cpu_.resize(bytes);
       break;
     case Tier::kNvme:
-      extent_ = res.nvme().allocate(bytes);
+      // NVMe exhaustion spills *up* to CPU — the only tier with elastic
+      // capacity here.
+      if (res.spill_on_oom()) {
+        try {
+          extent_ = res.nvme().allocate(bytes);
+        } catch (const OutOfMemoryError& e) {
+          ZI_LOG_WARN << "TierBuffer: NVMe allocation failed ("
+                      << e.what() << "); spilling " << bytes
+                      << " bytes to CPU";
+          tier_ = Tier::kCpu;
+          cpu_.resize(bytes);
+          res_->accountant().note_spill(Tier::kNvme);
+        }
+      } else {
+        extent_ = res.nvme().allocate(bytes);
+      }
       break;
   }
   res_->accountant().add(tier_, bytes_);

@@ -26,6 +26,7 @@ class TierBuffer {
   TierBuffer(TierBuffer&& o) noexcept
       : res_(o.res_),
         tier_(o.tier_),
+        requested_tier_(o.requested_tier_),
         bytes_(o.bytes_),
         gpu_block_(std::move(o.gpu_block_)),
         cpu_(std::move(o.cpu_)),
@@ -36,7 +37,11 @@ class TierBuffer {
   TierBuffer(const TierBuffer&) = delete;
   TierBuffer& operator=(const TierBuffer&) = delete;
 
+  /// Tier the buffer actually lives on (may differ from the requested tier
+  /// after a spill; see RankResources::spill_on_oom()).
   Tier tier() const noexcept { return tier_; }
+  Tier requested_tier() const noexcept { return requested_tier_; }
+  bool spilled() const noexcept { return tier_ != requested_tier_; }
   std::uint64_t size() const noexcept { return bytes_; }
 
   /// Direct pointer for in-place access; nullptr on the NVMe tier.
@@ -58,6 +63,7 @@ class TierBuffer {
  private:
   RankResources* res_;
   Tier tier_;
+  Tier requested_tier_;
   std::uint64_t bytes_;
   ArenaBlock gpu_block_;          // kGpu
   std::vector<std::byte> cpu_;    // kCpu

@@ -1,8 +1,40 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
+#include <filesystem>
+
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/ckpt_io.hpp"
 
 namespace zi {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Existing `<base>.step<k>` checkpoint files, newest step first. Sidecars
+/// (.manifest) and interrupted writes (.tmp) are not candidates.
+std::vector<std::int64_t> list_checkpoint_steps(const std::string& base) {
+  const fs::path base_path(base);
+  const fs::path dir =
+      base_path.parent_path().empty() ? "." : base_path.parent_path();
+  const std::string prefix = base_path.filename().string() + ".step";
+  std::vector<std::int64_t> steps;
+  if (!fs::is_directory(dir)) return steps;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+      continue;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    steps.push_back(std::stoll(digits));
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
+
+}  // namespace
 
 Trainer::Trainer(ZeroEngine& engine, Communicator& comm,
                  const TokenDataset& train, const TokenDataset* eval_data,
@@ -15,6 +47,48 @@ Trainer::Trainer(ZeroEngine& engine, Communicator& comm,
   ZI_CHECK(config_.total_steps > 0);
   ZI_CHECK(config_.batch_per_rank > 0);
   ZI_CHECK(config_.micro_batches > 0);
+  ZI_CHECK(config_.checkpoint_keep >= 1);
+}
+
+std::string Trainer::checkpoint_file(const std::string& base,
+                                     std::int64_t step) {
+  return base + ".step" + std::to_string(step);
+}
+
+std::int64_t Trainer::try_resume() {
+  if (config_.checkpoint_path.empty()) return 0;
+  for (const std::int64_t step : list_checkpoint_steps(config_.checkpoint_path)) {
+    const std::string file = checkpoint_file(config_.checkpoint_path, step);
+    // A payload without its manifest is an interrupted save (the manifest
+    // rename is the commit point) — never a resume candidate.
+    if (!fs::exists(ckpt_manifest_path(file))) {
+      if (comm_.rank() == 0) {
+        ZI_LOG_WARN << "skipping uncommitted checkpoint " << file
+                    << " (no manifest)";
+      }
+      continue;
+    }
+    try {
+      engine_.load_checkpoint(file);
+      if (comm_.rank() == 0) {
+        ZI_LOG_INFO << "resumed from " << file << " (step " << step << ")";
+      }
+      return step;
+    } catch (const CheckpointCorruptionError& e) {
+      // Every rank reads the same bytes, so all ranks throw (and fall back)
+      // in lockstep.
+      if (comm_.rank() == 0) {
+        ZI_LOG_WARN << "checkpoint rejected: " << e.what()
+                    << "; trying an older one";
+      }
+    } catch (const IoError& e) {
+      if (comm_.rank() == 0) {
+        ZI_LOG_WARN << "checkpoint unreadable: " << e.what()
+                    << "; trying an older one";
+      }
+    }
+  }
+  return 0;
 }
 
 TrainerReport Trainer::run() {
@@ -51,11 +125,27 @@ TrainerReport Trainer::run() {
 
     if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
         step % config_.checkpoint_every == 0) {
-      engine_.save_checkpoint(config_.checkpoint_path);
+      engine_.save_checkpoint(checkpoint_file(config_.checkpoint_path, step));
       ++report.checkpoints_written;
+      if (comm_.rank() == 0) prune_checkpoints();
+      comm_.barrier();  // no rank races ahead while files are being removed
     }
   }
   return report;
+}
+
+void Trainer::prune_checkpoints() {
+  const auto steps = list_checkpoint_steps(config_.checkpoint_path);
+  for (std::size_t i = static_cast<std::size_t>(config_.checkpoint_keep);
+       i < steps.size(); ++i) {
+    const std::string file =
+        checkpoint_file(config_.checkpoint_path, steps[i]);
+    std::error_code ec;  // best-effort: a vanished file is not an error
+    fs::remove(file, ec);
+    fs::remove(ckpt_manifest_path(file), ec);
+    fs::remove(file + ".tmp", ec);
+    fs::remove(ckpt_manifest_path(file) + ".tmp", ec);
+  }
 }
 
 }  // namespace zi

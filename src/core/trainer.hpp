@@ -23,7 +23,12 @@ struct TrainerConfig {
   std::int64_t eval_every = 0;       ///< 0 = never
   std::int64_t eval_batch = 4;
   std::int64_t checkpoint_every = 0; ///< 0 = never
+  /// Base path for checkpoints; step `k` is saved as `<path>.step<k>` (see
+  /// Trainer::checkpoint_file) so older checkpoints survive as fallbacks.
   std::string checkpoint_path;
+  /// How many recent checkpoints to keep on disk; older ones are pruned
+  /// after each successful save. Minimum 1.
+  int checkpoint_keep = 2;
   LrSchedule schedule;
 };
 
@@ -40,9 +45,25 @@ class Trainer {
   Trainer(ZeroEngine& engine, Communicator& comm, const TokenDataset& train,
           const TokenDataset* eval_data, TrainerConfig config);
 
+  /// On-disk name of the checkpoint for `step`: `<base>.step<k>`.
+  static std::string checkpoint_file(const std::string& base,
+                                     std::int64_t step);
+
+  /// Crash recovery: scan for `<checkpoint_path>.step*` files and load the
+  /// newest one that passes integrity verification, falling back to older
+  /// checkpoints when a newer one is corrupt (CheckpointCorruptionError) or
+  /// otherwise unloadable. Collective — every rank must call it, and all
+  /// ranks agree on the candidate order because they scan the same
+  /// directory. Returns the resumed step, or 0 if nothing loadable exists.
+  /// A subsequent run() continues from the resumed step.
+  std::int64_t try_resume();
+
   TrainerReport run();
 
  private:
+  /// Rank-0 only: delete checkpoints beyond the `checkpoint_keep` newest.
+  void prune_checkpoints();
+
   ZeroEngine& engine_;
   Communicator& comm_;
   const TokenDataset& train_;

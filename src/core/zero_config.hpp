@@ -102,6 +102,13 @@ struct EngineConfig {
   /// Global gradient-norm clip; 0 disables.
   float max_grad_norm = 0.0f;
 
+  /// Graceful degradation: when true, a state buffer whose home tier cannot
+  /// satisfy the allocation (GPU arena OOM, NVMe swap exhaustion) spills to
+  /// CPU memory instead of aborting with OutOfMemoryError. Placement does
+  /// not affect numerics, so spilled runs stay bit-identical. Off by
+  /// default: the capacity experiments rely on OOM being a hard signal.
+  bool spill_on_oom = false;
+
   /// True when parameters are partitioned (per-submodule gather/release).
   bool params_partitioned() const { return stage == ZeroStage::kStage3; }
   /// True when gradients are partitioned (reduce-scatter instead of

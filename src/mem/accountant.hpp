@@ -48,6 +48,23 @@ class MemoryAccountant {
     return peak_[idx(tier)].load(std::memory_order_relaxed);
   }
 
+  /// Record a graceful OOM degradation: an allocation that wanted `from`
+  /// but was satisfied on a lower tier (TierBuffer's spill path).
+  void note_spill(Tier from) {
+    spills_[idx(from)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Spills recorded with `from` as the requested tier.
+  std::uint64_t spills(Tier from) const {
+    return spills_[idx(from)].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_spills() const {
+    std::uint64_t total = 0;
+    for (const auto& s : spills_) total += s.load(std::memory_order_relaxed);
+    return total;
+  }
+
   /// "GPU 1.2 MiB (peak 3.4 MiB) | CPU ... | NVMe ..."
   std::string summary() const;
 
@@ -55,6 +72,7 @@ class MemoryAccountant {
   static int idx(Tier t) { return static_cast<int>(t); }
   std::array<std::atomic<std::uint64_t>, kNumTiers> used_{};
   std::array<std::atomic<std::uint64_t>, kNumTiers> peak_{};
+  std::array<std::atomic<std::uint64_t>, kNumTiers> spills_{};
 };
 
 }  // namespace zi

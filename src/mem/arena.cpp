@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace zi {
 
@@ -55,6 +56,14 @@ DeviceArena::~DeviceArena() = default;
 ArenaBlock DeviceArena::allocate(std::uint64_t bytes, std::uint64_t alignment) {
   ZI_CHECK(alignment > 0);
   if (bytes == 0) bytes = 1;
+  // Simulated GPU OOM: only real (backed) arenas are injection targets —
+  // virtual arenas are the capacity-experiment substrate (and NvmeStore's
+  // extent bookkeeping), which must stay exact.
+  if (mode_ == Mode::kReal && FaultInjector::armed() &&
+      fault_check(FaultSite::kArenaAllocate).error) {
+    throw OutOfMemoryError("arena '" + name_ + "': injected OOM (" +
+                           format_bytes(bytes) + ")");
+  }
   const std::uint64_t size = align_up(bytes, alignment);
 
   LockGuard lock(mutex_);

@@ -1,8 +1,11 @@
 #include "mem/pinned_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/error.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace zi {
 
@@ -50,6 +53,19 @@ PinnedBufferPool::PinnedBufferPool(std::size_t buffer_bytes,
 }
 
 PinnedLease PinnedBufferPool::acquire() {
+  if (FaultInjector::armed()) {
+    const FaultDecision fault = fault_check(FaultSite::kPinnedAcquire);
+    if (fault.delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+    }
+    if (fault.error) {
+      // Simulated oversubscription: acquire() is blocking by contract, so
+      // an injected exhaustion manifests as a counted stall, not a throw.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      LockGuard lock(mutex_);
+      ++stats_.blocked_acquires;
+    }
+  }
   UniqueLock lock(mutex_);
   if (free_indices_.empty()) {
     ++stats_.blocked_acquires;
@@ -59,6 +75,15 @@ PinnedLease PinnedBufferPool::acquire() {
 }
 
 std::optional<PinnedLease> PinnedBufferPool::try_acquire() {
+  if (FaultInjector::armed()) {
+    const FaultDecision fault = fault_check(FaultSite::kPinnedAcquire);
+    if (fault.delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+    }
+    // Simulated exhaustion: all buffers leased out. Callers already handle
+    // nullopt (they fall back to unpinned staging).
+    if (fault.error) return std::nullopt;
+  }
   LockGuard lock(mutex_);
   if (free_indices_.empty()) return std::nullopt;
   return make_lease_locked();

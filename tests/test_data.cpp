@@ -4,6 +4,7 @@
 #include <cmath>
 #include <filesystem>
 
+#include "core/ckpt_io.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 #include "data/tokenizer.hpp"
@@ -193,19 +194,24 @@ TEST(Trainer, EndToEndWithEvalCheckpointAndSchedule) {
   ASSERT_EQ(report.train_losses.size(), 10u);
   EXPECT_EQ(report.eval_losses.size(), 2u);
   EXPECT_EQ(report.checkpoints_written, 2);
-  EXPECT_TRUE(fs::exists(tc.checkpoint_path));
+  // Checkpoints are step-suffixed, committed with a checksum manifest, and
+  // both survive (checkpoint_keep defaults to 2).
+  const std::string ckpt10 = Trainer::checkpoint_file(tc.checkpoint_path, 10);
+  EXPECT_TRUE(fs::exists(Trainer::checkpoint_file(tc.checkpoint_path, 5)));
+  EXPECT_TRUE(fs::exists(ckpt10));
+  EXPECT_TRUE(fs::exists(ckpt_manifest_path(ckpt10)));
   // Learns the repetitive corpus.
   EXPECT_LT(report.train_losses.back(), report.train_losses.front());
   // And the checkpoint can seed a resumed trainer that continues counting.
   run_ranks(2, [&](Communicator& comm) {
     Gpt model(mc);
     ZeroEngine engine(model, comm, aio, cfg);
-    engine.load_checkpoint(tc.checkpoint_path);
-    EXPECT_EQ(engine.steps(), 10);
     TrainerConfig tc2 = tc;
     tc2.total_steps = 12;  // resumes at step 11
     tc2.checkpoint_every = 0;
     Trainer trainer(engine, comm, data, nullptr, tc2);
+    EXPECT_EQ(trainer.try_resume(), 10);
+    EXPECT_EQ(engine.steps(), 10);
     const TrainerReport r2 = trainer.run();
     EXPECT_EQ(r2.train_losses.size(), 2u);
   });
