@@ -47,9 +47,9 @@ int main() {
     Gpt model(mc);
     ZeroEngine engine(model, comm, aio, cfg);
     if (comm.rank() == 0) {
-      engine.coordinator()->set_event_recorder([&](const std::string& e) {
+      engine.coordinator()->set_observer([&](const DataMovementEvent& e) {
         std::lock_guard<std::mutex> lock(trace_mutex);
-        trace.push_back(e);
+        trace.push_back(format_event(e));
       });
     }
     std::vector<std::int32_t> tokens(2 * mc.seq), targets(tokens.size());

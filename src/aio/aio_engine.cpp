@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "mem/aligned.hpp"
+#include "obs/trace.hpp"
 #include "testing/fault_injector.hpp"
 
 namespace zi {
@@ -105,7 +106,7 @@ void AioFile::sync() {
 // AioEngine
 
 AioEngine::AioEngine(AioConfig config)
-    : config_(config), pool_(config.num_workers) {
+    : config_(config), pool_(config.num_workers, "aio") {
   ZI_CHECK(config_.block_bytes > 0);
 }
 
@@ -195,6 +196,9 @@ AioStatus AioEngine::submit(AioFile* file, std::uint64_t offset,
 void AioEngine::run_sub_request(
     AioFile* file, std::uint64_t offset, std::byte* buf, std::size_t len,
     OpKind kind, const std::shared_ptr<AioStatus::State>& state) {
+  ZI_TRACE_SPAN("aio", kind == OpKind::kRead ? "read" : "write",
+                "\"bytes\":" + std::to_string(len) +
+                    ",\"offset\":" + std::to_string(offset));
   std::exception_ptr error;
   int error_code = 0;
   std::size_t done = 0;  // bytes transferred by the last (partial) attempt
@@ -282,6 +286,9 @@ void AioEngine::run_sub_request(
           LockGuard lock(stats_mutex_);
           ++stats_.retries;
         }
+        ZI_TRACE_INSTANT("aio", "retry",
+                         "\"attempt\":" + std::to_string(attempt + 1) +
+                             ",\"errno\":" + std::to_string(e.error_code()));
         if (config_.retry_backoff_us > 0) {
           const int shift = attempt < 10 ? attempt : 10;
           std::this_thread::sleep_for(std::chrono::microseconds(

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace zi {
 
 void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
@@ -13,6 +15,7 @@ void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      Tracer::set_thread_name("rank" + std::to_string(r));
       Communicator comm(r, shared);
       try {
         fn(comm);
@@ -28,6 +31,7 @@ void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
 }
 
 void Communicator::barrier() {
+  ZI_TRACE_SPAN("comm", "barrier");
   shared_->traffic.barriers.fetch_add(1, std::memory_order_relaxed);
   shared_->sync.arrive_and_wait();
 }

@@ -26,6 +26,7 @@
 #include "common/error.hpp"
 #include "common/half.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/trace.hpp"
 
 namespace zi {
 
@@ -225,6 +226,8 @@ template <typename T>
 void Communicator::broadcast(std::span<T> data, int root) {
   auto& s = *shared_;
   ZI_CHECK(root >= 0 && root < s.num_ranks);
+  ZI_TRACE_SPAN("comm", "broadcast",
+                "\"bytes\":" + std::to_string(data.size_bytes()));
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.broadcast_bytes.fetch_add(data.size_bytes(),
                                       std::memory_order_relaxed);
@@ -250,6 +253,8 @@ void Communicator::allgather(std::span<const T> send, std::span<T> recv) {
   ZI_CHECK_MSG(recv.size() == send.size() * n,
                "allgather: recv " << recv.size() << " != send " << send.size()
                                   << " * " << n);
+  ZI_TRACE_SPAN("comm", "allgather",
+                "\"bytes\":" + std::to_string(send.size_bytes()));
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.allgather_bytes.fetch_add(send.size_bytes(),
                                       std::memory_order_relaxed);
@@ -272,6 +277,8 @@ void Communicator::reduce_scatter_sum(std::span<const T> send,
   ZI_CHECK_MSG(send.size() == recv.size() * n,
                "reduce_scatter: send " << send.size() << " != recv "
                                        << recv.size() << " * " << n);
+  ZI_TRACE_SPAN("comm", "reduce_scatter",
+                "\"bytes\":" + std::to_string(send.size_bytes()));
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.reduce_scatter_bytes.fetch_add(send.size_bytes(),
                                            std::memory_order_relaxed);
@@ -295,6 +302,8 @@ template <typename T>
 void Communicator::allreduce_sum(std::span<T> data) {
   auto& s = *shared_;
   const auto n = static_cast<std::size_t>(s.num_ranks);
+  ZI_TRACE_SPAN("comm", "allreduce",
+                "\"bytes\":" + std::to_string(data.size_bytes()));
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.allreduce_bytes.fetch_add(data.size_bytes(),
                                       std::memory_order_relaxed);
@@ -336,6 +345,8 @@ void Communicator::gather(std::span<const T> send, std::span<T> recv,
   if (rank_ == root) {
     ZI_CHECK_MSG(recv.size() == send.size() * n, "gather: recv size mismatch");
   }
+  ZI_TRACE_SPAN("comm", "gather",
+                "\"bytes\":" + std::to_string(send.size_bytes()));
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
   s.counts[static_cast<std::size_t>(rank_)] = send.size();

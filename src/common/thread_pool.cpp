@@ -1,14 +1,21 @@
 #include "common/thread_pool.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace zi {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (!name_.empty()) {
+        Tracer::set_thread_name(name_ + std::to_string(i));
+      }
+      worker_loop();
+    });
   }
 }
 

@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,8 +21,10 @@ namespace zi {
 
 class ThreadPool {
  public:
-  /// Start `num_threads` workers (at least 1).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Start `num_threads` workers (at least 1). When `name` is non-empty the
+  /// workers register Perfetto tracks "<name>0", "<name>1", ... with the
+  /// tracer (obs/trace.hpp).
+  explicit ThreadPool(std::size_t num_threads, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -52,6 +55,7 @@ class ThreadPool {
  private:
   void worker_loop() ZI_EXCLUDES(mutex_);
 
+  std::string name_;  ///< immutable after construction
   mutable Mutex mutex_{"ThreadPool::mutex_"};
   CondVar cv_task_;
   CondVar cv_idle_;

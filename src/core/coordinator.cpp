@@ -1,11 +1,32 @@
 #include "core/coordinator.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/cast.hpp"
 
 namespace zi {
+
+std::string format_event(const DataMovementEvent& e) {
+  switch (e.kind) {
+    case DataMovementEvent::Kind::kGather:
+      return std::string(e.broadcast ? "broadcast  " : "allgather  ") +
+             e.param + "  <- " + tier_name(e.tier) +
+             (e.for_backward ? "  (for backward)" : "  (for forward)");
+    case DataMovementEvent::Kind::kRelease:
+      return "release    " + e.param;
+    case DataMovementEvent::Kind::kPrefetch:
+      return "prefetch   " + e.param + "  (async, " +
+             (e.pinned_staging ? "pinned buffer" : "heap staging") + ")";
+    case DataMovementEvent::Kind::kReduceScatter:
+      return "reducescat " + e.param + "  -> grad shard on " +
+             tier_name(e.tier);
+  }
+  return {};
+}
 
 ParamCoordinator::ParamCoordinator(ModelStateStore& store, RankResources& res,
                                    Communicator& comm,
@@ -19,15 +40,9 @@ ParamCoordinator::ParamCoordinator(ModelStateStore& store, RankResources& res,
 ParamCoordinator::~ParamCoordinator() {
   set_parameter_access_interceptor(nullptr, nullptr);
   // An exception mid-iteration can leave prefetch reads in flight; their
-  // completion must land before the staging buffers are destroyed.
-  for (auto& [id, slot] : prefetch_) {
-    try {
-      slot.status.wait();
-    } catch (...) {
-      // The I/O error was already the failure being unwound; swallowing it
-      // here only keeps the destructor noexcept.
-    }
-  }
+  // completion must land before the staging buffers are destroyed (and any
+  // I/O error is swallowed — it was already the failure being unwound).
+  drop_prefetches();
 }
 
 void ParamCoordinator::install(Module& root) {
@@ -117,6 +132,13 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
   ++stats_.fetches;
   if (!eval_mode_) advance_trace(p->id());
 
+  ZI_TRACE_SPAN("coord", "gather:" + p->name(),
+                std::string("\"backward\":") +
+                    (for_backward ? "true" : "false"));
+  using Clock = std::chrono::steady_clock;
+  const bool timed = MetricsSink::enabled();
+  const auto fetch_t0 = timed ? Clock::now() : Clock::time_point{};
+
   // Materialize the full fp16 values: bandwidth-centric allgather (every
   // rank's link carries 1/dp in parallel, Sec. 6.1) or the broadcast
   // baseline (the owner's link carries everything — the ZeRO/ZeRO-Offload
@@ -125,13 +147,11 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
   if (store_.broadcast_mode()) {
     padded.resize(static_cast<std::size_t>(p->numel()));
     if (comm_.rank() == store_.param_owner(p)) {
-      auto it = prefetch_.find(p->id());
-      if (it != prefetch_.end()) {
-        it->second.status.wait();
-        std::copy(it->second.staging.begin(), it->second.staging.end(),
+      // Only the owner ever stages a prefetch in broadcast mode (see the
+      // suppression in issue_prefetches), so only the owner consumes one.
+      if (std::optional<PrefetchSlot> staged = take_prefetch(p->id())) {
+        std::copy(staged->staging.begin(), staged->staging.end(),
                   padded.begin());
-        prefetch_.erase(it);
-        ++stats_.prefetch_hits;
       } else {
         store_.load_param_full(p, padded);
       }
@@ -141,16 +161,15 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
   } else {
     const ShardSpec& spec = store_.param_spec(p);
     const auto shard_n = static_cast<std::size_t>(spec.shard_elems);
-    // 1. Local shard: use the prefetched copy if one is in flight (staged
-    //    in a pinned buffer), else load synchronously from the parameter's
-    //    tier (the nc-transfer).
+    // 1. Local shard: consume the prefetched copy if one is in flight
+    //    (`staged` keeps the staging buffer alive through the allgather),
+    //    else load synchronously from the parameter's tier (the
+    //    nc-transfer).
+    std::optional<PrefetchSlot> staged = take_prefetch(p->id());
     std::vector<half> shard_heap;
     std::span<const half> shard;
-    auto it = prefetch_.find(p->id());
-    if (it != prefetch_.end()) {
-      it->second.status.wait();
-      shard = it->second.staging;
-      ++stats_.prefetch_hits;
+    if (staged) {
+      shard = staged->staging;
     } else {
       shard_heap.resize(shard_n);
       store_.load_param_shard(p, shard_heap);
@@ -161,7 +180,6 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
     padded.resize(static_cast<std::size_t>(spec.padded_numel()));
     comm_.allgather<half>(shard, padded);
     stats_.allgather_fp16_elems += shard_n;
-    if (it != prefetch_.end()) prefetch_.erase(it);  // release the lease
   }
 
   // 3. Materialize the fp32 compute tensor in GPU memory (the cg-transfer
@@ -174,11 +192,42 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
                   p->full_tensor().span<float>());
   gathered_.emplace(p->id(), std::move(block));
   p->set_status(Parameter::Status::kAvailable);
-  record((store_.broadcast_mode() ? "broadcast  " : "allgather  ") +
-         p->name() + "  <- " + tier_name(config_.param_placement) +
-         (for_backward ? "  (for backward)" : "  (for forward)"));
+  if (timed) {
+    stats_.fetch_seconds +=
+        std::chrono::duration<double>(Clock::now() - fetch_t0).count();
+  }
+  if (observer_) {
+    DataMovementEvent ev;
+    ev.kind = DataMovementEvent::Kind::kGather;
+    ev.param = p->name();
+    ev.tier = config_.param_placement;
+    ev.broadcast = store_.broadcast_mode();
+    ev.for_backward = for_backward;
+    emit(ev);
+  }
 
   issue_prefetches();
+}
+
+std::optional<ParamCoordinator::PrefetchSlot> ParamCoordinator::take_prefetch(
+    int id) {
+  auto it = prefetch_.find(id);
+  if (it == prefetch_.end()) return std::nullopt;
+  PrefetchSlot slot = std::move(it->second);
+  prefetch_.erase(it);
+  try {
+    // wait() returns (or throws) only once every sub-request has completed,
+    // so destroying the staging buffer afterwards is safe even on failure.
+    slot.status.wait();
+  } catch (...) {
+    // Staged data abandoned; the pinned lease is released by slot's
+    // destructor during unwinding, and the next fetch of this parameter
+    // falls back to a clean synchronous load.
+    ++stats_.prefetch_drops;
+    throw;
+  }
+  ++stats_.prefetch_hits;
+  return slot;
 }
 
 void ParamCoordinator::release(Parameter* p, bool force) {
@@ -187,7 +236,12 @@ void ParamCoordinator::release(Parameter* p, bool force) {
     return;  // small parameter: stays gathered for the rest of the step
   }
   ++stats_.releases;
-  record("release    " + p->name());
+  if (observer_) {
+    DataMovementEvent ev;
+    ev.kind = DataMovementEvent::Kind::kRelease;
+    ev.param = p->name();
+    emit(ev);
+  }
   p->full_tensor() = Tensor();
   gathered_.erase(p->id());  // frees the arena block
   p->set_status(Parameter::Status::kNotAvailable);
@@ -245,15 +299,32 @@ void ParamCoordinator::issue_prefetches() {
     slot.status = store_.broadcast_mode()
                       ? store_.load_param_full_async(p, slot.staging)
                       : store_.load_param_shard_async(p, slot.staging);
-    record("prefetch   " + p->name() + "  (async, " +
-           (slot.heap.empty() ? "pinned buffer" : "heap staging") + ")");
+    ZI_TRACE_INSTANT("coord", "prefetch:" + p->name(),
+                     "\"bytes\":" + std::to_string(elems * sizeof(half)));
+    if (observer_) {
+      DataMovementEvent ev;
+      ev.kind = DataMovementEvent::Kind::kPrefetch;
+      ev.param = p->name();
+      ev.tier = config_.param_placement;
+      ev.broadcast = store_.broadcast_mode();
+      ev.pinned_staging = slot.heap.empty();
+      emit(ev);
+    }
     prefetch_.emplace(id, std::move(slot));
     ++stats_.prefetches_issued;
   }
 }
 
 void ParamCoordinator::drop_prefetches() {
-  for (auto& [id, slot] : prefetch_) slot.status.wait();
+  for (auto& [id, slot] : prefetch_) {
+    try {
+      // In-flight reads must land before their staging buffers die; an I/O
+      // failure is immaterial here — the staged data is discarded anyway.
+      slot.status.wait();
+    } catch (...) {
+    }
+    ++stats_.prefetch_drops;
+  }
   prefetch_.clear();
 }
 
@@ -270,6 +341,10 @@ void ParamCoordinator::ensure_grad_buffer(Parameter* p) {
 void ParamCoordinator::reduce_and_store_grad(Parameter* p) {
   ZI_CHECK_MSG(p->grad_tensor().defined(),
                "no gradient accumulated for " << p->name());
+  ZI_TRACE_SPAN("coord", "reduce:" + p->name());
+  using Clock = std::chrono::steady_clock;
+  const bool timed = MetricsSink::enabled();
+  const auto reduce_t0 = timed ? Clock::now() : Clock::time_point{};
   const ShardSpec& spec = store_.param_spec(p);
 
   // fp32 accumulation happened in the grad buffer; storage/transit is fp16
@@ -288,8 +363,17 @@ void ParamCoordinator::reduce_and_store_grad(Parameter* p) {
   } else {
     store_.store_grad_shard(p, shard);
   }
-  record("reducescat " + p->name() + "  -> grad shard on " +
-         tier_name(config_.grad_placement));
+  if (timed) {
+    stats_.reduce_seconds +=
+        std::chrono::duration<double>(Clock::now() - reduce_t0).count();
+  }
+  if (observer_) {
+    DataMovementEvent ev;
+    ev.kind = DataMovementEvent::Kind::kReduceScatter;
+    ev.param = p->name();
+    ev.tier = config_.grad_placement;
+    emit(ev);
+  }
   ++stats_.grads_reduced;
 
   p->grad_tensor() = Tensor();

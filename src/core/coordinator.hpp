@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,24 @@
 
 namespace zi {
 
+/// One structured data-movement event (the Fig. 4 vocabulary). Replaces the
+/// old free-form string callback: consumers get typed fields and can render
+/// the legacy text with format_event().
+struct DataMovementEvent {
+  enum class Kind { kGather, kRelease, kPrefetch, kReduceScatter };
+  Kind kind = Kind::kGather;
+  std::string param;            ///< parameter name
+  Placement tier = Placement::kGpu;  ///< source (gather/prefetch) or
+                                     ///< destination (reduce-scatter) tier
+  bool broadcast = false;       ///< gather used the broadcast baseline
+  bool for_backward = false;    ///< gather serving the backward pass
+  bool pinned_staging = false;  ///< prefetch staged into a pinned lease
+};
+
+/// The legacy Fig. 4 one-line rendering of an event ("allgather  wte  <-
+/// nvme  (for forward)" etc.) — what the old string recorder produced.
+std::string format_event(const DataMovementEvent& e);
+
 class ParamCoordinator {
  public:
   struct Stats {
@@ -47,12 +66,21 @@ class ParamCoordinator {
     std::uint64_t releases = 0;
     std::uint64_t prefetches_issued = 0;
     std::uint64_t prefetch_hits = 0;
+    /// Prefetched data discarded unconsumed: trace invalidation/eval-mode
+    /// drops, and staged reads abandoned because their wait() threw. The
+    /// truth invariant is prefetches_issued == prefetch_hits +
+    /// prefetch_drops + (entries still in flight).
+    std::uint64_t prefetch_drops = 0;
     std::uint64_t trace_invalidations = 0;
     std::uint64_t auto_registrations = 0;  ///< Sec. 7.1.1 interceptions
     std::uint64_t grads_reduced = 0;
     std::uint64_t allgather_fp16_elems = 0;
     std::uint64_t broadcast_fp16_elems = 0;  ///< broadcast-baseline traffic
     std::uint64_t reduce_scatter_fp16_elems = 0;
+    // Accumulated only while metrics are enabled (obs/metrics.hpp): wall
+    // time inside fetch() gathers / reduce_and_store_grad().
+    double fetch_seconds = 0.0;
+    double reduce_seconds = 0.0;
   };
 
   ParamCoordinator(ModelStateStore& store, RankResources& res,
@@ -91,16 +119,16 @@ class ParamCoordinator {
 
   const Stats& stats() const noexcept { return stats_; }
 
-  /// Install an observer for data-movement events ("gather", "release",
-  /// "reduce-scatter", "prefetch") — used to render the Fig. 4 trace from
-  /// a live run. Pass nullptr to disable.
-  void set_event_recorder(std::function<void(const std::string&)> recorder) {
-    recorder_ = std::move(recorder);
+  /// Install an observer for structured data-movement events — used to
+  /// render the Fig. 4 trace from a live run (pipe through format_event for
+  /// the classic text). Pass nullptr to disable.
+  void set_observer(std::function<void(const DataMovementEvent&)> observer) {
+    observer_ = std::move(observer);
   }
 
  private:
-  void record(const std::string& event) {
-    if (recorder_) recorder_(event);
+  void emit(const DataMovementEvent& event) {
+    if (observer_) observer_(event);
   }
 
   void on_pre_forward(Module& m);
@@ -108,7 +136,22 @@ class ParamCoordinator {
   void on_pre_backward(Module& m);
   void on_post_backward(Module& m);
 
+  // Prefetch staging prefers a lease from the pinned-buffer pool (the
+  // infinity offload engine reads into pinned memory, Sec. 6.3); falls
+  // back to heap when the pool is exhausted or the shard is too large.
+  struct PrefetchSlot {
+    PinnedLease lease;
+    std::vector<half> heap;
+    AioStatus status;
+    std::span<half> staging;  // into lease or heap
+  };
+
   static void intercept_access(void* ctx, Parameter* p);
+  /// Consume the in-flight prefetch for param `id`, if any: the map entry
+  /// is erased BEFORE waiting, so a wait() failure (RetriesExhaustedError)
+  /// destroys the slot — releasing its pinned lease — instead of leaking a
+  /// poisoned entry. Counts the hit or (on throw) the drop.
+  std::optional<PrefetchSlot> take_prefetch(int id);
   void advance_trace(int param_id);
   void issue_prefetches();
   void drop_prefetches();
@@ -128,15 +171,6 @@ class ParamCoordinator {
   bool eval_mode_ = false;
   bool accumulate_grads_ = false;
 
-  // Prefetch staging prefers a lease from the pinned-buffer pool (the
-  // infinity offload engine reads into pinned memory, Sec. 6.3); falls
-  // back to heap when the pool is exhausted or the shard is too large.
-  struct PrefetchSlot {
-    PinnedLease lease;
-    std::vector<half> heap;
-    AioStatus status;
-    std::span<half> staging;  // into lease or heap
-  };
   std::unordered_map<int, PrefetchSlot> prefetch_;
 
   // Arena blocks backing gathered fp32 params / fp32 grad buffers.
@@ -150,7 +184,7 @@ class ParamCoordinator {
   bool in_backward_ = false;
 
   Stats stats_;
-  std::function<void(const std::string&)> recorder_;
+  std::function<void(const DataMovementEvent&)> observer_;
 };
 
 }  // namespace zi

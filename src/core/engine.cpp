@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "core/ckpt_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/adam.hpp"
 #include "tensor/cast.hpp"
 
@@ -91,6 +93,12 @@ ZeroEngine::StepStats ZeroEngine::train_step(
     std::span<const MicroBatch> micro_batches) {
   ZI_CHECK(!micro_batches.empty());
   ++step_;
+  ZI_TRACE_SPAN("engine", "step", "\"step\":" + std::to_string(step_));
+  using Clock = std::chrono::steady_clock;
+  auto seconds = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  const auto step_t0 = Clock::now();
   const float cur_scale = scaler_.scale();
   const float world = static_cast<float>(comm_.size());
   const auto num_micro = static_cast<float>(micro_batches.size());
@@ -103,10 +111,6 @@ ZeroEngine::StepStats ZeroEngine::train_step(
   // unscales by `scale`. Every micro-batch is reduced in fp16 immediately
   // (identical rounding points across all strategies → exactness holds
   // with accumulation too).
-  using Clock = std::chrono::steady_clock;
-  auto seconds = [](Clock::time_point a, Clock::time_point b) {
-    return std::chrono::duration<double>(b - a).count();
-  };
   double loss_sum = 0.0;
   for (std::size_t m = 0; m < micro_batches.size(); ++m) {
     if (coordinator_ != nullptr) {
@@ -116,12 +120,18 @@ ZeroEngine::StepStats ZeroEngine::train_step(
       local_store_->zero_grads();
     }
     const auto t0 = Clock::now();
-    loss_sum += model_.forward_loss(micro_batches[m].tokens,
-                                    micro_batches[m].targets);
+    {
+      ZI_TRACE_SPAN("engine", "fwd", "\"micro\":" + std::to_string(m));
+      loss_sum += model_.forward_loss(micro_batches[m].tokens,
+                                      micro_batches[m].targets);
+    }
     const auto t1 = Clock::now();
-    model_.backward_loss(cur_scale / (world * num_micro));
-    if (coordinator_ == nullptr) {
-      reduce_replicated_grads(/*accumulate=*/m > 0);
+    {
+      ZI_TRACE_SPAN("engine", "bwd", "\"micro\":" + std::to_string(m));
+      model_.backward_loss(cur_scale / (world * num_micro));
+      if (coordinator_ == nullptr) {
+        reduce_replicated_grads(/*accumulate=*/m > 0);
+      }
     }
     const auto t2 = Clock::now();
     st.fwd_seconds += seconds(t0, t1);
@@ -134,7 +144,12 @@ ZeroEngine::StepStats ZeroEngine::train_step(
   st.global_loss = static_cast<float>(
       comm_.allreduce_sum_scalar(st.local_loss) / comm_.size());
   st.skipped = scaler_.update(overflow);
-  if (st.skipped) return st;
+  if (st.skipped) {
+    if (MetricsSink::enabled()) {
+      emit_step_report(st, seconds(step_t0, Clock::now()));
+    }
+    return st;
+  }
 
   float clip = 1.0f;
   if (config_.max_grad_norm > 0.0f) {
@@ -147,6 +162,7 @@ ZeroEngine::StepStats ZeroEngine::train_step(
   }
 
   ++opt_step_;
+  ZI_TRACE_SPAN("engine", "opt", "\"opt_step\":" + std::to_string(opt_step_));
   const auto opt_t0 = Clock::now();
   if (coordinator_ != nullptr && store_.broadcast_mode()) {
     // Broadcast baseline: the updated fp16 shards are allgathered and the
@@ -190,7 +206,83 @@ ZeroEngine::StepStats ZeroEngine::train_step(
   }
   if (coordinator_ != nullptr) coordinator_->end_iteration();
   st.opt_seconds = seconds(opt_t0, Clock::now());
+  if (MetricsSink::enabled()) {
+    emit_step_report(st, seconds(step_t0, Clock::now()));
+  }
   return st;
+}
+
+void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
+  auto delta = [](std::uint64_t now, std::uint64_t& base) {
+    const std::uint64_t d = now - base;
+    base = now;
+    return d;
+  };
+  auto rload = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+
+  StepReport r;
+  r.step = step_;
+  r.rank = comm_.rank();
+  r.world = comm_.size();
+  r.loss = st.global_loss;
+  r.skipped = st.skipped;
+  r.step_seconds = step_seconds;
+  r.fwd_seconds = st.fwd_seconds;
+  r.bwd_seconds = st.bwd_seconds;
+  r.opt_seconds = st.opt_seconds;
+
+  const CommTraffic& t = comm_.traffic();
+  r.allgather_bytes = delta(rload(t.allgather_bytes),
+                            metrics_base_.allgather_bytes);
+  r.reduce_scatter_bytes = delta(rload(t.reduce_scatter_bytes),
+                                 metrics_base_.reduce_scatter_bytes);
+  r.broadcast_bytes = delta(rload(t.broadcast_bytes),
+                            metrics_base_.broadcast_bytes);
+  r.allreduce_bytes = delta(rload(t.allreduce_bytes),
+                            metrics_base_.allreduce_bytes);
+  r.collectives = delta(rload(t.collectives), metrics_base_.collectives);
+  r.barriers = delta(rload(t.barriers), metrics_base_.barriers);
+
+  const AioEngine::Stats aio = res_.aio().stats();
+  r.aio_bytes_read = delta(aio.bytes_read, metrics_base_.aio_bytes_read);
+  r.aio_bytes_written = delta(aio.bytes_written,
+                              metrics_base_.aio_bytes_written);
+  r.aio_requests = delta(aio.requests, metrics_base_.aio_requests);
+  r.aio_retries = delta(aio.retries, metrics_base_.aio_retries);
+
+  if (coordinator_ != nullptr) {
+    const ParamCoordinator::Stats& cs = coordinator_->stats();
+    r.fetches = delta(cs.fetches, metrics_base_.fetches);
+    r.releases = delta(cs.releases, metrics_base_.releases);
+    r.prefetches_issued = delta(cs.prefetches_issued,
+                                metrics_base_.prefetches_issued);
+    r.prefetch_hits = delta(cs.prefetch_hits, metrics_base_.prefetch_hits);
+    r.prefetch_drops = delta(cs.prefetch_drops, metrics_base_.prefetch_drops);
+    r.prefetch_hit_rate =
+        r.prefetches_issued > 0
+            ? static_cast<double>(r.prefetch_hits) /
+                  static_cast<double>(r.prefetches_issued)
+            : 0.0;
+    r.grads_reduced = delta(cs.grads_reduced, metrics_base_.grads_reduced);
+    r.fetch_seconds = cs.fetch_seconds - metrics_base_.fetch_seconds;
+    metrics_base_.fetch_seconds = cs.fetch_seconds;
+    r.reduce_seconds = cs.reduce_seconds - metrics_base_.reduce_seconds;
+    metrics_base_.reduce_seconds = cs.reduce_seconds;
+  }
+
+  const MemoryAccountant& acct = res_.accountant();
+  r.gpu_used = acct.used(Tier::kGpu);
+  r.gpu_peak = acct.peak(Tier::kGpu);
+  r.cpu_used = acct.used(Tier::kCpu);
+  r.cpu_peak = acct.peak(Tier::kCpu);
+  r.nvme_used = acct.used(Tier::kNvme);
+  r.nvme_peak = acct.peak(Tier::kNvme);
+  r.arena_peak = res_.gpu().stats().peak_used;
+  r.pinned_blocked = res_.pinned().stats().blocked_acquires;
+
+  MetricsSink::instance().write(r);
 }
 
 float ZeroEngine::eval_loss(std::span<const std::int32_t> tokens,

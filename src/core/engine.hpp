@@ -106,6 +106,9 @@ class ZeroEngine {
 
  private:
   void reduce_replicated_grads(bool accumulate);
+  /// Snapshot the counter surfaces into a StepReport and append it to the
+  /// metrics sink. Callers gate on MetricsSink::enabled().
+  void emit_step_report(const StepStats& st, double step_seconds);
   /// Assemble the full fp16 parameter values of `p` on every rank.
   std::vector<half> gather_full_fp16(Parameter* p);
   /// Assemble a full fp32 optimizer-state tensor from its shards.
@@ -125,6 +128,31 @@ class ZeroEngine {
   std::unique_ptr<ActivationOffloader> act_offloader_;
   std::int64_t step_ = 0;
   std::int64_t opt_step_ = 0;
+
+  /// Cumulative counter values as of the previous StepReport, so each
+  /// report carries per-step deltas (comm/AIO counters are shared across
+  /// ranks; each engine tracks its own baseline).
+  struct CounterBase {
+    std::uint64_t allgather_bytes = 0;
+    std::uint64_t reduce_scatter_bytes = 0;
+    std::uint64_t broadcast_bytes = 0;
+    std::uint64_t allreduce_bytes = 0;
+    std::uint64_t collectives = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t aio_bytes_read = 0;
+    std::uint64_t aio_bytes_written = 0;
+    std::uint64_t aio_requests = 0;
+    std::uint64_t aio_retries = 0;
+    std::uint64_t fetches = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t prefetch_hits = 0;
+    std::uint64_t prefetch_drops = 0;
+    std::uint64_t grads_reduced = 0;
+    double fetch_seconds = 0.0;
+    double reduce_seconds = 0.0;
+  };
+  CounterBase metrics_base_;
 };
 
 }  // namespace zi

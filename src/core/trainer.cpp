@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <filesystem>
 
 #include "common/error.hpp"
@@ -28,7 +29,14 @@ std::vector<std::int64_t> list_checkpoint_steps(const std::string& base) {
       continue;
     const std::string digits = name.substr(prefix.size());
     if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
-    steps.push_back(std::stoll(digits));
+    // from_chars instead of stoll: a digit suffix too long for int64
+    // (e.g. a stray "ckpt.step99999999999999999999999" file) must be
+    // skipped, not crash resume with std::out_of_range.
+    std::int64_t step = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), step);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) continue;
+    steps.push_back(step);
   }
   std::sort(steps.rbegin(), steps.rend());
   return steps;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "testing/fault_injector.hpp"
 
 namespace zi {
@@ -56,6 +57,8 @@ DeviceArena::~DeviceArena() = default;
 ArenaBlock DeviceArena::allocate(std::uint64_t bytes, std::uint64_t alignment) {
   ZI_CHECK(alignment > 0);
   if (bytes == 0) bytes = 1;
+  ZI_TRACE_SPAN("mem", "arena_alloc",
+                "\"bytes\":" + std::to_string(bytes));
   // Simulated GPU OOM: only real (backed) arenas are injection targets —
   // virtual arenas are the capacity-experiment substrate (and NvmeStore's
   // extent bookkeeping), which must stay exact.

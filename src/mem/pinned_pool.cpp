@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "testing/fault_injector.hpp"
 
 namespace zi {
@@ -53,6 +54,8 @@ PinnedBufferPool::PinnedBufferPool(std::size_t buffer_bytes,
 }
 
 PinnedLease PinnedBufferPool::acquire() {
+  // The span captures time spent blocked on an exhausted pool.
+  ZI_TRACE_SPAN("mem", "pinned_acquire");
   if (FaultInjector::armed()) {
     const FaultDecision fault = fault_check(FaultSite::kPinnedAcquire);
     if (fault.delay_us != 0) {

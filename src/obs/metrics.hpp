@@ -1,0 +1,111 @@
+// MetricsSink — per-step machine-readable training metrics as JSON lines.
+//
+// Each ZeroEngine::train_step, when metrics are enabled, snapshots the
+// existing counter surfaces (CommTraffic, AioEngine::Stats,
+// ParamCoordinator::Stats, MemoryAccountant, DeviceArena/PinnedBufferPool)
+// into a StepReport — step time and phase breakdown, bytes moved per tier
+// and per collective, arena high-water, prefetch hit rate — and appends one
+// JSON object per line to the ZI_METRICS=<path> file. One line per
+// (step, rank); comm and AIO counters are shared across ranks and are
+// reported as world-aggregate deltas sampled at the rank's step boundaries.
+//
+// Disabled cost is one relaxed atomic load per step (lock_tracker /
+// fault_injector pattern): the snapshotting itself only runs when enabled.
+// Like trace.hpp this header is std-only so any layer can use it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace zi {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// One training step's metrics on one rank. Counter fields are DELTAS over
+/// the step unless named *_used / *_peak (absolute occupancy / high-water).
+struct StepReport {
+  std::int64_t step = 0;
+  int rank = 0;
+  int world = 1;
+  float loss = 0.0f;
+  bool skipped = false;  ///< fp16 overflow: optimizer step was skipped
+
+  // Wall-clock phase breakdown (seconds).
+  double step_seconds = 0.0;
+  double fwd_seconds = 0.0;
+  double bwd_seconds = 0.0;
+  double opt_seconds = 0.0;
+  double fetch_seconds = 0.0;   ///< coordinator gather time (inside fwd/bwd)
+  double reduce_seconds = 0.0;  ///< gradient reduce-scatter time (inside bwd)
+
+  // Collective traffic deltas (bytes; world-aggregate — see header comment).
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t reduce_scatter_bytes = 0;
+  std::uint64_t broadcast_bytes = 0;
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t barriers = 0;
+
+  // AIO engine deltas (shared engine — world-aggregate).
+  std::uint64_t aio_bytes_read = 0;
+  std::uint64_t aio_bytes_written = 0;
+  std::uint64_t aio_requests = 0;
+  std::uint64_t aio_retries = 0;
+
+  // Coordinator deltas (this rank; zero for stages 0-2).
+  std::uint64_t fetches = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_drops = 0;
+  double prefetch_hit_rate = 0.0;  ///< hits/issued this step (0 when none)
+  std::uint64_t grads_reduced = 0;
+
+  // Memory accountant (this rank, absolute bytes).
+  std::uint64_t gpu_used = 0;
+  std::uint64_t gpu_peak = 0;
+  std::uint64_t cpu_used = 0;
+  std::uint64_t cpu_peak = 0;
+  std::uint64_t nvme_used = 0;
+  std::uint64_t nvme_peak = 0;
+  std::uint64_t arena_peak = 0;       ///< GPU arena high-water (bytes)
+  std::uint64_t pinned_blocked = 0;   ///< cumulative blocked pinned acquires
+
+  /// One JSON object, no trailing newline.
+  std::string to_json_line() const;
+};
+
+class MetricsSink {
+ public:
+  static MetricsSink& instance();
+
+  /// The per-step gate: one relaxed atomic load.
+  static bool enabled() noexcept {
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Open (truncating) `path` for JSONL output and enable the sink.
+  void open(std::string path);
+  /// Flush, close, and disable.
+  void close();
+
+  /// Re-read ZI_METRICS=<path>; runs once automatically at static-init
+  /// time, public so tests can re-drive it after setenv().
+  void init_from_env();
+
+  /// Append one line (thread-safe; ranks interleave whole lines).
+  void write(const StepReport& report);
+
+  std::uint64_t lines_written() const;
+
+  struct Impl;  // opaque; defined in metrics.cpp
+
+ private:
+  MetricsSink() = default;
+  Impl& impl() const;
+};
+
+}  // namespace zi

@@ -242,6 +242,23 @@ TEST_F(CheckpointCrashTest, KillAndResumeMatchesUninterruptedRun) {
   }
 }
 
+TEST_F(CheckpointCrashTest, ResumeSkipsStepSuffixTooLongForInt64) {
+  TrainSetup setup;
+  auto [losses, r0] = setup.run(dir_, 10, false);
+  (void)r0;
+  ASSERT_EQ(losses.size(), 10u);
+  const std::string base = setup.trainer_config(dir_).checkpoint_path;
+
+  // A stray file whose all-digit step suffix overflows int64 (29 nines).
+  // std::stoll would throw std::out_of_range out of try_resume(); the
+  // defensive parse must simply skip it and resume from step 9.
+  std::ofstream(base + ".step99999999999999999999999999999") << "junk";
+  auto [more, resumed] = setup.run(dir_, 10, true);
+  EXPECT_EQ(resumed, 9);
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0], losses[9]);
+}
+
 TEST_F(CheckpointCrashTest, OldCheckpointsArePruned) {
   TrainSetup setup;
   TrainerConfig tc = setup.trainer_config(dir_);

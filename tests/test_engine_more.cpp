@@ -146,8 +146,9 @@ TEST_F(EngineMoreTest, EventRecorderSeesTheFigure4Sequence) {
     Gpt model(mc);
     ZeroEngine engine(model, comm, aio, cfg);
     if (comm.rank() == 0) {
-      engine.coordinator()->set_event_recorder(
-          [&](const std::string& e) { events.push_back(e); });
+      engine.coordinator()->set_observer([&](const DataMovementEvent& e) {
+        events.push_back(format_event(e));
+      });
     }
     std::vector<std::int32_t> tokens(static_cast<std::size_t>(mc.seq), 1);
     std::vector<std::int32_t> targets(tokens.size(), 2);

@@ -18,6 +18,7 @@
 
 #include "core/engine.hpp"
 #include "model/gpt.hpp"
+#include "model/linear.hpp"
 #include "testing/fault_injector.hpp"
 
 namespace zi {
@@ -257,6 +258,100 @@ TEST_F(FaultInjectionTest, PinnedExhaustionMakesTryAcquireFail) {
   auto lease = pool.try_acquire();
   ASSERT_TRUE(lease.has_value());
   EXPECT_EQ(lease->size(), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch exception-safety: a prefetched NVMe read whose retries are
+// exhausted must not leak its coordinator map entry or its pinned staging
+// lease. Pre-fix, the entry stayed in `prefetch_` after wait() threw: the
+// pinned buffer was held forever, and the next trace divergence re-threw
+// the stale error out of drop_prefetches().
+
+TEST_F(FaultInjectionTest, FailedPrefetchReleasesSlotAndRecovers) {
+  AioConfig acfg;
+  acfg.num_workers = 1;
+  acfg.max_retries = 1;
+  acfg.retry_backoff_us = 1;
+  AioEngine aio(acfg);
+
+  EngineConfig cfg;
+  cfg.stage = ZeroStage::kStage3;
+  cfg.param_placement = Placement::kNvme;
+  cfg.optimizer_placement = Placement::kCpu;
+  cfg.grad_placement = Placement::kCpu;
+  cfg.prefetch_depth = 2;
+  cfg.overlap_transfers = true;
+  cfg.nvme_dir = dir_.string();
+
+  // Parameter ids must be unique across the tree → one root finalize().
+  struct TwoLinears : Module {
+    TwoLinears() : Module("m") {
+      a = std::make_unique<Linear>("m.a", 4, 4);
+      b = std::make_unique<Linear>("m.b", 4, 4);
+      register_child(a.get());
+      register_child(b.get());
+    }
+    Tensor forward(const Tensor& x) override {
+      return b->run_forward(a->run_forward(x));
+    }
+    Tensor backward(const Tensor& dy) override {
+      return a->run_backward(b->run_backward(dy));
+    }
+    std::unique_ptr<Linear> a, b;
+  };
+
+  run_ranks(1, [&](Communicator& comm) {
+    TwoLinears model;
+    model.finalize();
+    const std::vector<Parameter*> params = model.all_parameters();
+    ASSERT_EQ(params.size(), 4u);
+    RankResources res(comm.rank(), aio, 8 * kMiB, 16 * kMiB, dir_, 64 * 1024,
+                      2);
+    ModelStateStore store(res, cfg, params, comm.rank(), 1);
+    ParamCoordinator coord(store, res, comm, cfg);
+    const std::size_t pinned_total = res.pinned().num_buffers();
+
+    // Iteration 1 records the trace [a.w, a.b, b.w, b.b].
+    coord.begin_iteration();
+    for (Parameter* p : params) {
+      coord.fetch(p, false);
+      coord.release(p);
+    }
+
+    // Iteration 2 replays it. The first read (a.w's synchronous shard
+    // load) passes; every later read — the two async prefetches issued
+    // behind it — fails persistently, so their statuses end in error.
+    coord.begin_iteration();
+    FaultInjector::instance().configure("aio_read:error,after=1");
+    coord.fetch(params[0], false);
+    coord.release(params[0]);
+    EXPECT_EQ(coord.stats().prefetches_issued, 2u);
+
+    // Consuming the poisoned prefetch surfaces the typed error...
+    EXPECT_THROW(coord.fetch(params[1], false), RetriesExhaustedError);
+    // ...but the slot was consumed: counted as a drop, not left in flight.
+    EXPECT_EQ(coord.stats().prefetch_drops, 1u);
+    EXPECT_EQ(coord.stats().prefetch_hits, 0u);
+
+    // With the fault gone the retry falls back to a clean synchronous
+    // load (pre-fix the leaked entry made this re-throw).
+    FaultInjector::instance().clear();
+    coord.fetch(params[1], false);
+    EXPECT_EQ(params[1]->status(), Parameter::Status::kAvailable);
+    for (std::int64_t i = 0; i < params[1]->numel(); ++i) {
+      EXPECT_EQ(params[1]->full_tensor().get(i),
+                half(params[1]->init_value(i)).to_float());
+    }
+    coord.release(params[1]);
+
+    // Accounting truth invariant with nothing left in flight, and every
+    // pinned staging lease back in the pool.
+    EXPECT_GE(coord.stats().trace_invalidations, 1u);
+    EXPECT_EQ(coord.stats().prefetch_hits + coord.stats().prefetch_drops,
+              coord.stats().prefetches_issued);
+    EXPECT_EQ(res.pinned().available(), pinned_total);
+  });
+  FaultInjector::instance().clear();
 }
 
 // ---------------------------------------------------------------------------
