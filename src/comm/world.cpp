@@ -1,48 +1,518 @@
 #include "comm/world.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
 #include <thread>
+#include <typeinfo>
 
+#include "common/log.hpp"
 #include "obs/trace.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace zi {
 
-void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
-  ZI_CHECK(num_ranks > 0);
-  auto shared = std::make_shared<detail::WorldShared>(num_ranks);
+namespace {
 
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
-  threads.reserve(static_cast<std::size_t>(num_ranks));
-  for (int r = 0; r < num_ranks; ++r) {
-    threads.emplace_back([&, r] {
-      Tracer::set_thread_name("rank" + std::to_string(r));
-      Communicator comm(r, shared);
-      try {
-        fn(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Clock::duration ms_to_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+// Wait-slice for ticked (deadline-aware) waits: short enough that heartbeats
+// stay fresh relative to any sane stall threshold, long enough to be cheap.
+constexpr std::chrono::milliseconds kWaitSlice{50};
+
+// Process-lifetime abort counter (survives world teardown across elastic
+// restarts — exactly what the per-step metrics line reports).
+std::atomic<std::uint64_t> g_comm_aborts{0};
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception type";
   }
 }
 
+bool is_comm_error(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const CommError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+const char* world_fail_kind_name(WorldFailKind kind) noexcept {
+  switch (kind) {
+    case WorldFailKind::kNone:
+      return "none";
+    case WorldFailKind::kException:
+      return "exception";
+    case WorldFailKind::kTimeout:
+      return "timeout";
+    case WorldFailKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+std::uint64_t comm_abort_count() noexcept {
+  return g_comm_aborts.load(std::memory_order_relaxed);
+}
+
+WorldOptions WorldOptions::from_env() {
+  WorldOptions o;
+  if (const char* e = std::getenv("ZI_COMM_TIMEOUT_MS"); e != nullptr && *e) {
+    o.timeout_ms = std::strtod(e, nullptr);
+  }
+  if (const char* e = std::getenv("ZI_P2P_CAP_BYTES"); e != nullptr && *e) {
+    o.p2p_capacity_bytes =
+        static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+  }
+  if (const char* e = std::getenv("ZI_P2P_CAP_MSGS"); e != nullptr && *e) {
+    o.p2p_capacity_messages =
+        static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// WorldHealth
+
+WorldHealth::WorldHealth(int num_ranks)
+    : ranks_(static_cast<std::size_t>(num_ranks)) {
+  const std::int64_t t0 = now_ns();
+  for (auto& r : ranks_) r.beat_ns.store(t0, std::memory_order_relaxed);
+}
+
+void WorldHealth::beat(int rank) noexcept {
+  ranks_[static_cast<std::size_t>(rank)].beat_ns.store(
+      now_ns(), std::memory_order_relaxed);
+}
+
+double WorldHealth::heartbeat_age_ms(int rank) const noexcept {
+  const std::int64_t last = ranks_[static_cast<std::size_t>(rank)]
+                                .beat_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(now_ns() - last) / 1e6;
+}
+
+double WorldHealth::max_heartbeat_age_ms() const noexcept {
+  double worst = 0.0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    worst = std::max(worst, heartbeat_age_ms(r));
+  }
+  return worst;
+}
+
+WorldHealth::RankStatus WorldHealth::status(int rank) const noexcept {
+  return static_cast<RankStatus>(ranks_[static_cast<std::size_t>(rank)]
+                                     .status.load(std::memory_order_acquire));
+}
+
+void WorldHealth::mark_done(int rank) noexcept {
+  ranks_[static_cast<std::size_t>(rank)].status.store(
+      static_cast<int>(RankStatus::kDone), std::memory_order_release);
+}
+
+void WorldHealth::mark_failed(int rank) noexcept {
+  ranks_[static_cast<std::size_t>(rank)].status.store(
+      static_cast<int>(RankStatus::kFailed), std::memory_order_release);
+}
+
+void WorldHealth::record_failure(int rank, WorldFailKind kind,
+                                 const std::string& what) {
+  LockGuard lock(mutex_);
+  if (has_failure_) return;  // first failure wins
+  has_failure_ = true;
+  culprit_ = rank;
+  kind_ = kind;
+  what_ = what;
+}
+
+int WorldHealth::culprit_rank() const {
+  LockGuard lock(mutex_);
+  return culprit_;
+}
+
+WorldFailKind WorldHealth::fail_kind() const {
+  LockGuard lock(mutex_);
+  return kind_;
+}
+
+std::string WorldHealth::failure_what() const {
+  LockGuard lock(mutex_);
+  return what_;
+}
+
+// ---------------------------------------------------------------------------
+// AbortableBarrier
+
+namespace detail {
+
+AbortableBarrier::AbortableBarrier(int num_ranks, WorldHealth* health,
+                                   const std::vector<int>* global_ranks)
+    : num_ranks_(num_ranks),
+      health_(health),
+      global_ranks_(global_ranks),
+      arrived_round_(static_cast<std::size_t>(num_ranks), 0) {}
+
+BarrierResult AbortableBarrier::arrive_and_wait(int member, int global_rank,
+                                                double timeout_ms, bool ticked,
+                                                int* suspect_global,
+                                                std::uint64_t* epoch_out) {
+  UniqueLock lock(mutex_);
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  // Covers both a poisoned barrier and a subgroup created after the poison
+  // traversal already swept the tree (its own flag never got set).
+  if (poisoned_ || (health_ != nullptr && health_->poisoned())) {
+    return BarrierResult::kPoisoned;
+  }
+  const std::uint64_t round = epoch_;
+  arrived_round_[static_cast<std::size_t>(member)] = round + 1;
+  if (++arrived_ == num_ranks_) {
+    arrived_ = 0;
+    ++epoch_;
+    cv_.notify_all();
+    return BarrierResult::kOk;
+  }
+  const Clock::time_point deadline = timeout_ms > 0.0
+                                         ? Clock::now() + ms_to_duration(timeout_ms)
+                                         : Clock::time_point::max();
+  while (epoch_ == round && !poisoned_) {
+    if (!ticked) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (health_ != nullptr) health_->beat(global_rank);
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) {
+      // Blame a rank that has not arrived this round — the one whose
+      // heartbeat is oldest (a crashed/stalled rank stopped beating; a rank
+      // merely blocked elsewhere keeps beating via its own ticked wait).
+      int suspect = -1;
+      double oldest = -1.0;
+      for (int m = 0; m < num_ranks_; ++m) {
+        if (arrived_round_[static_cast<std::size_t>(m)] == round + 1) continue;
+        const int g = (global_ranks_ != nullptr &&
+                       static_cast<std::size_t>(m) < global_ranks_->size())
+                          ? (*global_ranks_)[static_cast<std::size_t>(m)]
+                          : m;
+        const double age =
+            health_ != nullptr ? health_->heartbeat_age_ms(g) : 0.0;
+        if (age > oldest) {
+          oldest = age;
+          suspect = g;
+        }
+      }
+      if (suspect_global != nullptr) *suspect_global = suspect;
+      return BarrierResult::kTimeout;
+    }
+    const Clock::duration slice =
+        std::min<Clock::duration>(kWaitSlice, deadline - now);
+    cv_.wait_for(lock, slice);
+  }
+  return epoch_ != round ? BarrierResult::kOk : BarrierResult::kPoisoned;
+}
+
+void AbortableBarrier::poison() {
+  {
+    LockGuard lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t AbortableBarrier::epoch() const {
+  LockGuard lock(mutex_);
+  return epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// WorldShared
+
+WorldShared::WorldShared(int n, const WorldOptions& opts)
+    : num_ranks(n),
+      root(this),
+      options(opts),
+      health(std::make_shared<WorldHealth>(n)),
+      global_ranks(static_cast<std::size_t>(n)),
+      sync(n, health.get(), &global_ranks),
+      src_ptrs(static_cast<std::size_t>(n), nullptr),
+      dst_ptrs(static_cast<std::size_t>(n), nullptr),
+      counts(static_cast<std::size_t>(n), 0),
+      channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
+  std::iota(global_ranks.begin(), global_ranks.end(), 0);
+}
+
+WorldShared::WorldShared(int n, WorldShared* parent)
+    : num_ranks(n),
+      root(parent->root),
+      options(parent->options),
+      health(parent->health),
+      global_ranks(),  // filled by the creating rank before publication
+      sync(n, health.get(), &global_ranks),
+      src_ptrs(static_cast<std::size_t>(n), nullptr),
+      dst_ptrs(static_cast<std::size_t>(n), nullptr),
+      counts(static_cast<std::size_t>(n), 0),
+      channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {}
+
+void WorldShared::poison_world() {
+  health->set_poisoned();
+  root->poison_tree();
+}
+
+void WorldShared::poison_tree() {
+  sync.poison();
+  // Lock-then-notify on every channel so a receiver/sender that checked the
+  // poison flag and is about to wait cannot miss the wakeup.
+  for (P2pChannel& ch : channels) {
+    { LockGuard lock(ch.mutex); }
+    ch.cv.notify_all();
+  }
+  // Recurse into split() subgroups. Distinct mutex instances per level, and
+  // always parent-before-child, so the lock tracker sees a consistent order.
+  LockGuard lock(split_mutex);
+  for (auto& entry : split_groups) entry.second->poison_tree();
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Communicator failure plumbing
+
+void Communicator::throw_aborted(const char* op, std::uint64_t epoch) const {
+  g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+  ZI_TRACE_INSTANT("comm", "abort");
+  WorldHealth& h = *shared_->health;
+  const int culprit = h.culprit_rank();
+  std::ostringstream os;
+  os << "comm op '" << op << "' on rank " << global_rank_
+     << " aborted at epoch " << epoch << ": world poisoned";
+  if (culprit >= 0) {
+    os << " (" << world_fail_kind_name(h.fail_kind()) << " on rank " << culprit
+       << ": " << h.failure_what() << ")";
+  }
+  throw CommAbortedError(os.str(), op, culprit, epoch);
+}
+
+void Communicator::enter_collective(const char* op) {
+  auto& s = *shared_;
+  s.health->beat(global_rank_);
+  if (s.health->poisoned()) throw_aborted(op, s.sync.epoch());
+  if (FaultInjector::armed()) {
+    const FaultDecision crash =
+        fault_check(FaultSite::kRankCrash, global_rank_);
+    if (crash.error) {
+      throw Error("fault injection: rank_crash on rank " +
+                  std::to_string(global_rank_) + " entering '" + op + "'");
+    }
+    const FaultDecision stall =
+        fault_check(FaultSite::kRankStall, global_rank_);
+    if (stall.error || stall.delay_us > 0) injected_stall(op, stall.delay_us);
+    const FaultDecision delay =
+        fault_check(FaultSite::kCollectiveDelay, global_rank_);
+    if (delay.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay.delay_us));
+    }
+  }
+}
+
+void Communicator::injected_stall(const char* op, std::uint64_t cap_us) {
+  // A bounded stall (delay_us=... rule) models a slow-but-alive rank: it
+  // freezes without beating, then resumes normally. An unbounded stall
+  // (error-kind rule) freezes until a detector — peer timeout or watchdog —
+  // poisons the world; the 120 s cap keeps an undetected stall from hanging
+  // an entire test binary.
+  const Clock::time_point deadline =
+      Clock::now() + (cap_us > 0 ? std::chrono::microseconds(cap_us)
+                                 : std::chrono::microseconds(
+                                       std::uint64_t{120} * 1000 * 1000));
+  const bool unbounded = cap_us == 0;
+  while (Clock::now() < deadline) {
+    if (unbounded && shared_->health->poisoned()) {
+      throw_aborted(op, shared_->sync.epoch());
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void Communicator::sync_point(const char* op) {
+  auto& s = *shared_;
+  int suspect = -1;
+  std::uint64_t epoch = 0;
+  const detail::BarrierResult res = s.sync.arrive_and_wait(
+      rank_, global_rank_, s.options.timeout_ms, s.ticked_waits(), &suspect,
+      &epoch);
+  if (res == detail::BarrierResult::kOk) return;
+  if (res == detail::BarrierResult::kTimeout) {
+    std::ostringstream os;
+    os << "comm op '" << op << "' on rank " << global_rank_
+       << " timed out after " << s.options.timeout_ms << " ms at epoch "
+       << epoch << " waiting for rank " << suspect << " (heartbeat age "
+       << (suspect >= 0 ? s.health->heartbeat_age_ms(suspect) : -1.0)
+       << " ms)";
+    s.health->record_failure(suspect, WorldFailKind::kTimeout, os.str());
+    s.poison_world();
+    g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+    ZI_TRACE_INSTANT("comm", "abort");
+    throw CommTimeoutError(os.str(), op, suspect, epoch, s.options.timeout_ms);
+  }
+  throw_aborted(op, epoch);
+}
+
+void Communicator::abort_world(const std::string& reason) {
+  shared_->health->record_failure(global_rank_, WorldFailKind::kException,
+                                  "abort_world: " + reason);
+  shared_->health->mark_failed(global_rank_);
+  shared_->poison_world();
+  ZI_TRACE_INSTANT("comm", "abort");
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+void Communicator::send_bytes(int to, detail::P2pMessage msg) {
+  auto& s = *shared_;
+  ZI_CHECK(to >= 0 && to < s.num_ranks && to != rank_);
+  s.health->beat(global_rank_);
+  const std::size_t bytes = msg.payload.size();
+  const std::size_t cap_bytes = s.options.p2p_capacity_bytes;
+  const std::size_t cap_msgs = s.options.p2p_capacity_messages;
+  detail::P2pChannel& ch = s.channel(rank_, to);
+  {
+    UniqueLock lock(ch.mutex);
+    const Clock::time_point deadline =
+        s.options.timeout_ms > 0.0
+            ? Clock::now() + ms_to_duration(s.options.timeout_ms)
+            : Clock::time_point::max();
+    bool counted_block = false;
+    // A single message larger than the byte cap is still deliverable: the
+    // cap gates on the queue being non-empty, so the queue never wedges.
+    while ((cap_bytes > 0 && !ch.queue.empty() &&
+            ch.queued_bytes + bytes > cap_bytes) ||
+           (cap_msgs > 0 && ch.queue.size() >= cap_msgs)) {
+      if (s.health->poisoned()) throw_aborted("send", s.sync.epoch());
+      if (!counted_block) {
+        counted_block = true;
+        s.traffic.p2p_send_blocks.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!s.ticked_waits()) {
+        ch.cv.wait(lock);
+        continue;
+      }
+      s.health->beat(global_rank_);
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) {
+        const int receiver = s.global_ranks[static_cast<std::size_t>(to)];
+        std::ostringstream os;
+        os << "p2p send " << global_rank_ << "->" << receiver
+           << " blocked past channel cap for " << s.options.timeout_ms
+           << " ms (receiver not draining)";
+        lock.unlock();  // poison_tree re-locks every channel, incl. this one
+        s.health->record_failure(receiver, WorldFailKind::kTimeout, os.str());
+        s.poison_world();
+        g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+        ZI_TRACE_INSTANT("comm", "abort");
+        throw CommTimeoutError(os.str(), "send", receiver, s.sync.epoch(),
+                               s.options.timeout_ms);
+      }
+      ch.cv.wait_for(lock, std::min<Clock::duration>(kWaitSlice,
+                                                     deadline - now));
+    }
+    ch.queue.push_back(std::move(msg));
+    ch.queued_bytes += bytes;
+  }
+  ch.cv.notify_all();
+  s.traffic.p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Communicator::recv_bytes(std::span<std::byte> data, int from, int tag) {
+  auto& s = *shared_;
+  ZI_CHECK(from >= 0 && from < s.num_ranks && from != rank_);
+  s.health->beat(global_rank_);
+  detail::P2pChannel& ch = s.channel(from, rank_);
+  detail::P2pMessage msg;
+  {
+    UniqueLock lock(ch.mutex);
+    const Clock::time_point deadline =
+        s.options.timeout_ms > 0.0
+            ? Clock::now() + ms_to_duration(s.options.timeout_ms)
+            : Clock::time_point::max();
+    while (ch.queue.empty()) {
+      if (s.health->poisoned()) throw_aborted("recv", s.sync.epoch());
+      if (!s.ticked_waits()) {
+        ch.cv.wait(lock);
+        continue;
+      }
+      s.health->beat(global_rank_);
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) {
+        const int sender = s.global_ranks[static_cast<std::size_t>(from)];
+        std::ostringstream os;
+        os << "p2p recv on rank " << global_rank_ << " from rank " << sender
+           << " (tag " << tag << ") timed out after " << s.options.timeout_ms
+           << " ms";
+        lock.unlock();  // poison_tree re-locks every channel, incl. this one
+        s.health->record_failure(sender, WorldFailKind::kTimeout, os.str());
+        s.poison_world();
+        g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+        ZI_TRACE_INSTANT("comm", "abort");
+        throw CommTimeoutError(os.str(), "recv", sender, s.sync.epoch(),
+                               s.options.timeout_ms);
+      }
+      ch.cv.wait_for(lock, std::min<Clock::duration>(kWaitSlice,
+                                                     deadline - now));
+    }
+    msg = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    ch.queued_bytes -= msg.payload.size();
+  }
+  ch.cv.notify_all();  // wake a sender blocked on the cap
+  ZI_CHECK_MSG(msg.tag == tag, "p2p tag mismatch: expected "
+                                   << tag << ", got " << msg.tag
+                                   << " (per-channel FIFO ordering)");
+  ZI_CHECK_MSG(msg.payload.size() == data.size(),
+               "p2p size mismatch: sent " << msg.payload.size()
+                                          << " bytes, receiving "
+                                          << data.size());
+  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (non-template)
+
 void Communicator::barrier() {
   ZI_TRACE_SPAN("comm", "barrier");
+  enter_collective("barrier");
   shared_->traffic.barriers.fetch_add(1, std::memory_order_relaxed);
-  shared_->sync.arrive_and_wait();
+  sync_point("barrier");
 }
 
 Communicator Communicator::split(int color) {
   auto& s = *shared_;
+  enter_collective("split");
   // Publish every rank's color.
   thread_local int slot;
   slot = color;
   s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
-  s.sync.arrive_and_wait();
+  sync_point("split");
   std::vector<int> members;
   for (int r = 0; r < s.num_ranks; ++r) {
     if (*static_cast<const int*>(s.src_ptrs[static_cast<std::size_t>(r)]) ==
@@ -64,27 +534,34 @@ Communicator Communicator::split(int color) {
     auto& entry = s.split_groups[{split_calls_, color}];
     if (!entry) {
       entry = std::make_shared<detail::WorldShared>(
-          static_cast<int>(members.size()));
+          static_cast<int>(members.size()), &s);
+      entry->global_ranks.reserve(members.size());
+      for (int m : members) {
+        entry->global_ranks.push_back(
+            s.global_ranks[static_cast<std::size_t>(m)]);
+      }
     }
     sub = entry;
   }
   ++split_calls_;
-  s.sync.arrive_and_wait();  // everyone joined before first subgroup use
-  return Communicator(sub_rank, std::move(sub));
+  sync_point("split");  // everyone joined before first subgroup use
+  const int sub_global = sub->global_ranks[static_cast<std::size_t>(sub_rank)];
+  return Communicator(sub_rank, sub_global, std::move(sub));
 }
 
 double Communicator::allreduce_sum_scalar(double value) {
   auto& s = *shared_;
+  enter_collective("allreduce_sum_scalar");
   thread_local double slot;
   slot = value;
   s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
-  s.sync.arrive_and_wait();
+  sync_point("allreduce_sum_scalar");
   double acc = 0.0;
   for (int r = 0; r < s.num_ranks; ++r) {
     acc += *static_cast<const double*>(
         s.src_ptrs[static_cast<std::size_t>(r)]);
   }
-  s.sync.arrive_and_wait();
+  sync_point("allreduce_sum_scalar");
   return acc;
 }
 
@@ -94,18 +571,265 @@ bool Communicator::allreduce_or(bool value) {
 
 double Communicator::allreduce_max(double value) {
   auto& s = *shared_;
+  enter_collective("allreduce_max");
   // Reuse the pointer-exchange protocol with a per-rank double.
   thread_local double slot;
   slot = value;
   s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
-  s.sync.arrive_and_wait();
+  sync_point("allreduce_max");
   double best = value;
   for (int r = 0; r < s.num_ranks; ++r) {
     best = std::max(best, *static_cast<const double*>(
                               s.src_ptrs[static_cast<std::size_t>(r)]));
   }
-  s.sync.arrive_and_wait();
+  sync_point("allreduce_max");
   return best;
+}
+
+// ---------------------------------------------------------------------------
+// World driver
+
+namespace {
+
+/// Completion bookkeeping for run_world's grace-period join.
+struct JoinLatch {
+  Mutex mutex{"JoinLatch::mutex"};
+  CondVar cv;
+  int remaining ZI_GUARDED_BY(mutex) = 0;
+  std::vector<bool> done ZI_GUARDED_BY(mutex);
+};
+
+}  // namespace
+
+WorldReport run_world(int num_ranks, const WorldOptions& options,
+                      const std::function<void(Communicator&)>& fn) {
+  ZI_CHECK(num_ranks > 0);
+  auto shared = std::make_shared<detail::WorldShared>(num_ranks, options);
+  auto latch = std::make_shared<JoinLatch>();
+  {
+    LockGuard lock(latch->mutex);
+    latch->remaining = num_ranks;
+    latch->done.assign(static_cast<std::size_t>(num_ranks), false);
+  }
+  auto errors = std::make_shared<std::vector<std::exception_ptr>>(
+      static_cast<std::size_t>(num_ranks));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    // Everything captured by value (shared_ptr copies + a per-thread copy
+    // of fn): a thread detached after join_grace_ms must not dangle on the
+    // caller's stack frame.
+    threads.emplace_back([shared, latch, errors, fn, r] {
+      Tracer::set_thread_name("rank" + std::to_string(r));
+      shared->health->beat(r);
+      Communicator comm(r, r, shared);
+      try {
+        fn(comm);
+        shared->health->mark_done(r);
+      } catch (const CommError&) {
+        // Victim of an abort that is already recorded (or, pathologically,
+        // an unattributed one) — never overwrite the first-failure record.
+        (*errors)[static_cast<std::size_t>(r)] = std::current_exception();
+        shared->health->mark_failed(r);
+      } catch (...) {
+        (*errors)[static_cast<std::size_t>(r)] = std::current_exception();
+        shared->health->record_failure(r, WorldFailKind::kException,
+                                       describe_current_exception());
+        shared->health->mark_failed(r);
+        // The headline fix: a dying rank unblocks its peers instead of
+        // leaving them in arrive_and_wait forever.
+        shared->poison_world();
+      }
+      {
+        LockGuard lock(latch->mutex);
+        --latch->remaining;
+        latch->done[static_cast<std::size_t>(r)] = true;
+      }
+      latch->cv.notify_all();
+    });
+  }
+
+  // World watchdog: declares a running rank failed when its heartbeat age
+  // crosses the stall threshold, then poisons the world so waiters unblock.
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog;
+  const bool watch =
+      options.watchdog_interval_ms > 0.0 && options.stall_threshold_ms > 0.0;
+  if (watch) {
+    watchdog = std::thread([shared, &stop_watchdog, options] {
+      Tracer::set_thread_name("world_watchdog");
+      const Clock::duration interval =
+          ms_to_duration(options.watchdog_interval_ms);
+      Clock::time_point next_check = Clock::now() + interval;
+      while (!stop_watchdog.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (shared->health->poisoned()) return;
+        if (Clock::now() < next_check) continue;
+        next_check = Clock::now() + interval;
+        for (int r = 0; r < shared->num_ranks; ++r) {
+          if (shared->health->status(r) != WorldHealth::RankStatus::kRunning) {
+            continue;
+          }
+          const double age = shared->health->heartbeat_age_ms(r);
+          if (age <= options.stall_threshold_ms) continue;
+          std::ostringstream os;
+          os << "watchdog: rank " << r << " heartbeat stalled (age " << age
+             << " ms > threshold " << options.stall_threshold_ms << " ms)";
+          ZI_LOG_WARN << os.str();
+          shared->health->record_failure(r, WorldFailKind::kStall, os.str());
+          shared->poison_world();
+          ZI_TRACE_INSTANT("comm", "abort");
+          return;
+        }
+      }
+    });
+  }
+
+  std::vector<int> zombie_ranks;
+  if (!options.deadlines_enabled()) {
+    // Legacy semantics: plain join. Without deadlines no rank can time out,
+    // so nothing here changes behavior for existing callers.
+    for (std::thread& t : threads) t.join();
+  } else {
+    // Wait for completion; after a poison, give unblocked ranks
+    // join_grace_ms to unwind, then detach the genuinely wedged ones
+    // (threads cannot be cancelled).
+    std::vector<bool> done_snapshot;
+    {
+      UniqueLock lock(latch->mutex);
+      Clock::time_point poison_deadline = Clock::time_point::max();
+      while (latch->remaining > 0) {
+        if (shared->health->poisoned() &&
+            poison_deadline == Clock::time_point::max()) {
+          poison_deadline =
+              Clock::now() + ms_to_duration(std::max(0.0, options.join_grace_ms));
+        }
+        if (Clock::now() >= poison_deadline) break;
+        latch->cv.wait_for(lock, kWaitSlice);
+      }
+      done_snapshot = latch->done;
+    }
+    for (int r = 0; r < num_ranks; ++r) {
+      if (done_snapshot[static_cast<std::size_t>(r)]) {
+        threads[static_cast<std::size_t>(r)].join();
+      } else {
+        threads[static_cast<std::size_t>(r)].detach();
+        zombie_ranks.push_back(r);
+        ZI_LOG_WARN << "run_world: rank " << r
+                    << " still blocked past join grace; detached";
+      }
+    }
+  }
+  stop_watchdog.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+
+  WorldReport rep;
+  rep.world = num_ranks;
+  for (int r = 0; r < num_ranks; ++r) {
+    const std::exception_ptr& e = (*errors)[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    rep.failed_ranks.push_back(r);
+    rep.exceptions.push_back(e);
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      rep.errors.emplace_back(ex.what());
+    } catch (...) {
+      rep.errors.emplace_back("unknown exception type");
+    }
+    if (!is_comm_error(e)) rep.primary_ranks.push_back(r);
+  }
+  for (int r : zombie_ranks) {
+    rep.failed_ranks.push_back(r);
+    rep.exceptions.push_back(nullptr);
+    rep.errors.emplace_back("rank did not return after world abort (detached)");
+  }
+  rep.detached = static_cast<int>(zombie_ranks.size());
+  rep.kind = shared->health->fail_kind();
+  rep.culprit_rank = shared->health->culprit_rank();
+  rep.culprit_what = shared->health->failure_what();
+  if (rep.culprit_rank < 0 && !rep.primary_ranks.empty()) {
+    rep.culprit_rank = rep.primary_ranks.front();
+  }
+  rep.ok = rep.failed_ranks.empty();
+  return rep;
+}
+
+void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {
+  run_ranks(num_ranks, WorldOptions::from_env(), fn);
+}
+
+namespace {
+
+/// True when every exception in `eps` is a std::exception of one dynamic
+/// type — the signature of a deterministic lockstep failure (e.g. every
+/// rank OOMs on the same allocation).
+bool same_exception_type(const std::vector<std::exception_ptr>& eps) {
+  const std::type_info* first = nullptr;
+  for (const std::exception_ptr& e : eps) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      if (first == nullptr) {
+        first = &typeid(ex);
+      } else if (typeid(ex) != *first) {
+        return false;
+      }
+    } catch (...) {
+      return false;  // not introspectable — treat as heterogeneous
+    }
+  }
+  return first != nullptr;
+}
+
+}  // namespace
+
+void run_ranks(int num_ranks, const WorldOptions& options,
+               const std::function<void(Communicator&)>& fn) {
+  const WorldReport rep = run_world(num_ranks, options, fn);
+  if (rep.ok) return;
+  // Rethrow the original exception so typed catch sites keep working when
+  // the failure has a single real cause: either exactly one rank failed for
+  // a "real" (non-communication) reason and its peers are collateral comm
+  // aborts, or *every* failed rank is a primary throwing the same exception
+  // type — the deterministic-lockstep case (e.g. all ranks OOM on the same
+  // allocation), where the first-failing rank's exception speaks for all.
+  const bool lockstep =
+      rep.primary_ranks.size() > 1 && rep.detached == 0 &&
+      rep.primary_ranks.size() == rep.failed_ranks.size() &&
+      same_exception_type(rep.exceptions);
+  if (rep.primary_ranks.size() == 1 || lockstep) {
+    const int primary =
+        lockstep && rep.culprit_rank >= 0 &&
+                std::find(rep.primary_ranks.begin(), rep.primary_ranks.end(),
+                          rep.culprit_rank) != rep.primary_ranks.end()
+            ? rep.culprit_rank
+            : rep.primary_ranks.front();
+    if (rep.failed_ranks.size() > 1) {
+      ZI_LOG_WARN << "world aborted: rank " << primary << " failed"
+                  << (lockstep ? " (lockstep with all peers)" : "") << "; "
+                  << rep.failed_ranks.size() - 1
+                  << " peer rank(s) also unwound";
+    }
+    for (std::size_t i = 0; i < rep.failed_ranks.size(); ++i) {
+      if (rep.failed_ranks[i] == primary) {
+        std::rethrow_exception(rep.exceptions[i]);
+      }
+    }
+  }
+  // Heterogeneous multi-rank failures, pure timeout/stall aborts, or
+  // zombies: aggregate everything.
+  std::ostringstream os;
+  os << "world of " << rep.world << " ranks failed";
+  if (rep.culprit_rank >= 0) {
+    os << "; first failure (" << world_fail_kind_name(rep.kind) << ") on rank "
+       << rep.culprit_rank;
+  }
+  for (std::size_t i = 0; i < rep.failed_ranks.size(); ++i) {
+    os << "\n  rank " << rep.failed_ranks[i] << ": " << rep.errors[i];
+  }
+  throw WorldError(os.str(), rep.culprit_rank, rep.failed_ranks);
 }
 
 }  // namespace zi

@@ -10,17 +10,27 @@
 // The collective API mirrors MPI semantics (barrier / broadcast / allgather
 // / reduce_scatter / allreduce / gather), so a real MPI or NCCL backend
 // could be substituted without touching the training engine.
+//
+// Failure semantics (DESIGN.md §6): the sync primitive is an epoch-counting
+// *abortable* barrier. A rank that exits via exception records itself in the
+// shared WorldHealth registry and poisons the world; every blocked peer —
+// barrier waiter, recv(), capped send() — wakes and throws CommAbortedError
+// within one wait slice instead of hanging forever. With ZI_COMM_TIMEOUT_MS
+// set (or WorldOptions::timeout_ms), a rank that waits longer than the
+// timeout blames the slowest missing peer, poisons the world itself, and
+// throws CommTimeoutError. All timeouts/watchdogs default OFF so unit tests
+// keep exact legacy behavior; the elastic supervisor turns them on.
 #pragma once
 
 #include <atomic>
-#include <barrier>
-#include <deque>
-#include <map>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,6 +41,7 @@
 namespace zi {
 
 class Communicator;
+struct WorldReport;
 
 /// Byte counters per collective kind, aggregated over all ranks. "Bytes"
 /// counts the data each rank contributes (send-side volume), matching how
@@ -43,9 +54,118 @@ struct CommTraffic {
   std::atomic<std::uint64_t> p2p_bytes{0};
   std::atomic<std::uint64_t> barriers{0};
   std::atomic<std::uint64_t> collectives{0};
+  std::atomic<std::uint64_t> p2p_send_blocks{0};  ///< sends that hit the cap
+};
+
+/// Why a world was declared failed (first failure wins; later ones are
+/// collateral and do not overwrite the record).
+enum class WorldFailKind : int {
+  kNone = 0,
+  kException,  ///< a rank exited its body via a non-comm exception
+  kTimeout,    ///< a comm op timed out waiting for a peer
+  kStall,      ///< the watchdog saw a rank's heartbeat stop
+};
+
+const char* world_fail_kind_name(WorldFailKind kind) noexcept;
+
+/// Per-world failure-detection knobs. Everything defaults off, which makes
+/// the communicator behave exactly like the pre-abortable one (untimed
+/// waits, plain join). from_env() reads the ZI_* variables so trainer-level
+/// entry points can opt in without code changes.
+struct WorldOptions {
+  /// Max time any single comm wait may block before the waiter blames a
+  /// missing peer and poisons the world. <= 0: wait forever.
+  double timeout_ms = 0.0;
+  /// Watchdog poll cadence. <= 0: no watchdog thread.
+  double watchdog_interval_ms = 0.0;
+  /// Heartbeat age at which the watchdog declares a running rank stalled.
+  /// Only meaningful with watchdog_interval_ms > 0.
+  double stall_threshold_ms = 0.0;
+  /// After a poison, how long run_world waits for unblocked ranks to unwind
+  /// before detaching the genuinely wedged ones (threads cannot be killed).
+  double join_grace_ms = 2000.0;
+  /// Per-channel P2P queue cap in bytes; a send that would exceed it blocks
+  /// (abort-aware) until the receiver drains. 0: unbounded (legacy).
+  std::size_t p2p_capacity_bytes = 0;
+  /// Per-channel P2P queue cap in messages. 0: unbounded.
+  std::size_t p2p_capacity_messages = 0;
+
+  /// True when any deadline-based detection is active (timed waits tick so
+  /// blocked ranks keep their heartbeats fresh for the watchdog).
+  bool deadlines_enabled() const noexcept {
+    return timeout_ms > 0.0 ||
+           (watchdog_interval_ms > 0.0 && stall_threshold_ms > 0.0);
+  }
+
+  /// Defaults overridden by ZI_COMM_TIMEOUT_MS / ZI_P2P_CAP_BYTES /
+  /// ZI_P2P_CAP_MSGS when set. Unit tests that never set them get the
+  /// legacy wait-forever semantics.
+  static WorldOptions from_env();
 };
 
 namespace detail {
+struct WorldShared;
+}  // namespace detail
+
+/// Shared per-world health registry: one slot per root-world rank holding a
+/// heartbeat timestamp and a status, plus the first-failure record. All of
+/// it is written by rank threads and read by peers / the watchdog / the
+/// elastic supervisor, so slots are atomics and the failure record is
+/// mutex-guarded with first-write-wins semantics.
+class WorldHealth {
+ public:
+  enum class RankStatus : int { kRunning = 0, kDone = 1, kFailed = 2 };
+
+  explicit WorldHealth(int num_ranks);
+
+  int num_ranks() const noexcept { return static_cast<int>(ranks_.size()); }
+
+  /// Refresh `rank`'s heartbeat to "now". Called on every collective entry,
+  /// every timed-wait tick, and once per trainer step.
+  void beat(int rank) noexcept;
+  /// Milliseconds since `rank`'s last beat (a large value before the first).
+  double heartbeat_age_ms(int rank) const noexcept;
+  double max_heartbeat_age_ms() const noexcept;
+
+  RankStatus status(int rank) const noexcept;
+  void mark_done(int rank) noexcept;
+  void mark_failed(int rank) noexcept;
+
+  /// Set once the world is poisoned; comm entry points fail fast on it and
+  /// blocked waits wake and throw.
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Record the world's *first* failure (rank, kind, message); subsequent
+  /// calls are no-ops so collateral aborts never overwrite the root cause.
+  void record_failure(int rank, WorldFailKind kind, const std::string& what);
+  int culprit_rank() const;
+  WorldFailKind fail_kind() const;
+  std::string failure_what() const;
+
+ private:
+  friend struct detail::WorldShared;
+  void set_poisoned() noexcept {
+    poisoned_.store(true, std::memory_order_release);
+  }
+
+  struct PerRank {
+    std::atomic<int> status{static_cast<int>(RankStatus::kRunning)};
+    std::atomic<std::int64_t> beat_ns{0};
+  };
+  std::vector<PerRank> ranks_;
+  std::atomic<bool> poisoned_{false};
+
+  mutable Mutex mutex_{"WorldHealth::mutex"};
+  bool has_failure_ ZI_GUARDED_BY(mutex_) = false;
+  int culprit_ ZI_GUARDED_BY(mutex_) = -1;
+  WorldFailKind kind_ ZI_GUARDED_BY(mutex_) = WorldFailKind::kNone;
+  std::string what_ ZI_GUARDED_BY(mutex_);
+};
+
+namespace detail {
+
 /// One buffered point-to-point message (payload copied at send time so the
 /// sender never blocks on the receiver — eager protocol).
 struct P2pMessage {
@@ -58,17 +178,63 @@ struct P2pChannel {
   Mutex mutex{"P2pChannel::mutex"};
   CondVar cv;
   std::deque<P2pMessage> queue ZI_GUARDED_BY(mutex);
+  std::size_t queued_bytes ZI_GUARDED_BY(mutex) = 0;
 };
 
-/// State shared by all ranks of one World.
+/// Outcome of one abortable-barrier round for one rank.
+enum class BarrierResult : int { kOk = 0, kPoisoned = 1, kTimeout = 2 };
+
+/// Epoch-counting, poisonable replacement for std::barrier. Completing a
+/// round increments the epoch under the mutex and wakes everyone — the same
+/// happens-before edge std::barrier gave the pointer-exchange protocol.
+/// poison() wakes all waiters permanently; a timed wait that expires picks a
+/// suspect (a not-yet-arrived rank, oldest heartbeat first) and returns
+/// kTimeout without completing the round.
+class AbortableBarrier {
+ public:
+  /// `health` / `global_ranks` may outlive-borrow from the owning
+  /// WorldShared; `global_ranks` maps member index -> root-world rank for
+  /// split() subgroups (identity for the root world).
+  AbortableBarrier(int num_ranks, WorldHealth* health,
+                   const std::vector<int>* global_ranks);
+
+  /// Arrive and wait for the round to complete. `ticked` selects sliced
+  /// waits that refresh this rank's heartbeat (required whenever a timeout
+  /// or watchdog is active). On kTimeout, *suspect_global receives the
+  /// blamed root-world rank. *epoch_out receives the round's epoch.
+  BarrierResult arrive_and_wait(int member, int global_rank, double timeout_ms,
+                                bool ticked, int* suspect_global,
+                                std::uint64_t* epoch_out);
+
+  /// Permanently wake all current and future waiters with kPoisoned.
+  void poison();
+
+  std::uint64_t epoch() const;
+
+ private:
+  const int num_ranks_;
+  WorldHealth* const health_;
+  const std::vector<int>* const global_ranks_;
+
+  mutable Mutex mutex_{"AbortableBarrier::mutex"};
+  CondVar cv_;
+  std::uint64_t epoch_ ZI_GUARDED_BY(mutex_) = 0;
+  int arrived_ ZI_GUARDED_BY(mutex_) = 0;
+  bool poisoned_ ZI_GUARDED_BY(mutex_) = false;
+  // arrived_round_[m] == epoch_ + 1 while member m has arrived in the open
+  // round (0 = never arrived) — lets a timed-out waiter list the missing.
+  std::vector<std::uint64_t> arrived_round_ ZI_GUARDED_BY(mutex_);
+};
+
+/// State shared by all ranks of one World. split() subgroups form a tree
+/// rooted at the run_world-created world; the whole tree shares one
+/// WorldHealth (one failure domain) and one WorldOptions.
 struct WorldShared {
-  explicit WorldShared(int n)
-      : num_ranks(n),
-        sync(n),
-        src_ptrs(static_cast<std::size_t>(n), nullptr),
-        dst_ptrs(static_cast<std::size_t>(n), nullptr),
-        counts(static_cast<std::size_t>(n), 0),
-        channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {}
+  /// Root world: ranks 0..n-1 are global ranks.
+  WorldShared(int n, const WorldOptions& opts);
+  /// split() subgroup sharing `parent`'s root/health/options. The creating
+  /// rank fills global_ranks before publishing it in the split registry.
+  WorldShared(int n, WorldShared* parent);
 
   P2pChannel& channel(int from, int to) {
     return channels[static_cast<std::size_t>(from) *
@@ -76,11 +242,25 @@ struct WorldShared {
                     static_cast<std::size_t>(to)];
   }
 
+  /// Whether blocked waits must tick (refresh heartbeats / check deadlines).
+  bool ticked_waits() const noexcept { return options.deadlines_enabled(); }
+
+  /// Declare the world failed: set the health poison flag, then wake every
+  /// waiter in the whole split tree (barriers, recv()ers, capped senders).
+  /// Callers must NOT hold any channel/barrier mutex of this tree.
+  void poison_world();
+
   int num_ranks;
-  std::barrier<> sync;
+  WorldShared* root;  ///< root of the split tree (self for the root world);
+                      ///< raw pointer — the root strictly outlives subgroups
+  WorldOptions options;
+  std::shared_ptr<WorldHealth> health;  ///< shared across the split tree
+  std::vector<int> global_ranks;        ///< member index -> root-world rank
+  AbortableBarrier sync;
   // src_ptrs / dst_ptrs / counts are NOT lock-guarded: each rank writes only
-  // its own slot and all cross-rank reads are ordered by `sync` barriers
-  // (arrive_and_wait provides the happens-before edge TSan checks).
+  // its own slot and all cross-rank reads are ordered by `sync` rounds
+  // (the epoch bump under the barrier mutex provides the happens-before
+  // edge TSan checks, exactly as std::barrier did).
   std::vector<const void*> src_ptrs;
   std::vector<void*> dst_ptrs;
   std::vector<std::size_t> counts;
@@ -93,19 +273,71 @@ struct WorldShared {
   Mutex split_mutex{"WorldShared::split_mutex"};
   std::map<std::pair<int, int>, std::shared_ptr<WorldShared>> split_groups
       ZI_GUARDED_BY(split_mutex);
+
+ private:
+  void poison_tree();
 };
+
 }  // namespace detail
 
+/// Result of one run_world invocation — the no-throw surface the elastic
+/// supervisor builds on. `primary_ranks` are ranks whose failure was a
+/// "real" (non-communication) exception; other failed ranks are collateral
+/// comm aborts or detached zombies.
+struct WorldReport {
+  bool ok = false;
+  int world = 0;
+  WorldFailKind kind = WorldFailKind::kNone;
+  int culprit_rank = -1;      ///< world-blamed first failure; -1 if none
+  std::string culprit_what;   ///< first-failure message from WorldHealth
+  std::vector<int> failed_ranks;
+  std::vector<std::string> errors;            ///< parallel to failed_ranks
+  std::vector<std::exception_ptr> exceptions; ///< parallel; null for zombies
+  std::vector<int> primary_ranks;  ///< subset with non-comm exceptions
+  int detached = 0;  ///< ranks left wedged past join_grace_ms (zombies)
+};
+
 /// Launch `num_ranks` threads, each receiving a Communicator bound to its
-/// rank, and join them. The first exception thrown by any rank is rethrown
-/// on the caller after all ranks finish.
+/// rank, and join them. Never throws rank errors: the full outcome comes
+/// back in the WorldReport. When options enable deadlines, ranks still
+/// blocked join_grace_ms after a poison are detached (counted in
+/// `detached`) — such zombie threads may still reference caller state, so
+/// supervisors must keep the closed-over objects alive (see run_elastic).
+WorldReport run_world(int num_ranks, const WorldOptions& options,
+                      const std::function<void(Communicator&)>& fn);
+
+/// Throwing wrapper over run_world with WorldOptions::from_env(). Exactly
+/// one rank failing with a non-comm exception rethrows that original
+/// exception (peer comm aborts are collateral); anything else that fails
+/// throws a WorldError aggregating every rank's error.
 void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn);
+void run_ranks(int num_ranks, const WorldOptions& options,
+               const std::function<void(Communicator&)>& fn);
+
+/// Process-lifetime count of comm operations that aborted or timed out.
+/// Cumulative across worlds (it survives elastic teardown/restart), which is
+/// what the per-step metrics line wants.
+std::uint64_t comm_abort_count() noexcept;
 
 class Communicator {
  public:
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return shared_->num_ranks; }
+  /// Rank in the root world (== rank() unless this is a split() subgroup).
+  int global_rank() const noexcept { return global_rank_; }
   const CommTraffic& traffic() const noexcept { return shared_->traffic; }
+
+  /// The split tree's shared health registry (heartbeats, failure record).
+  WorldHealth& health() noexcept { return *shared_->health; }
+  const WorldHealth& health() const noexcept { return *shared_->health; }
+
+  /// Refresh this rank's heartbeat outside comm ops (the trainer beats once
+  /// per step so compute-heavy phases don't look like stalls).
+  void heartbeat() noexcept { shared_->health->beat(global_rank_); }
+
+  /// Explicitly poison the world, blaming this rank. Blocked peers unblock
+  /// with CommAbortedError; this rank's own next comm op throws too.
+  void abort_world(const std::string& reason);
 
   /// Synchronize all ranks.
   void barrier();
@@ -144,13 +376,16 @@ class Communicator {
 
   // --- point-to-point (MPI-style, eager/buffered) --------------------------
 
-  /// Send `data` to rank `to`; copies the payload and returns immediately
-  /// (eager protocol — a ring where everyone sends before receiving cannot
-  /// deadlock).
+  /// Send `data` to rank `to`; copies the payload and (below the channel
+  /// cap) returns immediately. With WorldOptions::p2p_capacity_* set, a send
+  /// past the cap blocks — abort-aware and timed like every other wait —
+  /// until the receiver drains (eager protocol otherwise: a ring where
+  /// everyone sends before receiving cannot deadlock).
   template <typename T>
   void send(std::span<const T> data, int to, int tag = 0);
 
-  /// Receive the next message with `tag` from rank `from` (blocks).
+  /// Receive the next message with `tag` from rank `from` (blocks;
+  /// abort-aware — throws CommAbortedError when the world is poisoned).
   /// Message sizes must match exactly; per-channel delivery is FIFO.
   template <typename T>
   void recv(std::span<T> data, int from, int tag = 0);
@@ -162,13 +397,30 @@ class Communicator {
   /// every rank supplies a `color`; ranks sharing a color receive a
   /// communicator over that subgroup, with sub-ranks assigned in ascending
   /// world-rank order. Collective — all ranks must call in lockstep. This
-  /// is the substrate for 2D (tensor × data) parallel grids.
+  /// is the substrate for 2D (tensor × data) parallel grids. Subgroups
+  /// share the parent's failure domain: poisoning any of them aborts all.
   Communicator split(int color);
 
  private:
-  friend void run_ranks(int, const std::function<void(Communicator&)>&);
-  Communicator(int rank, std::shared_ptr<detail::WorldShared> shared)
-      : rank_(rank), shared_(std::move(shared)) {}
+  friend WorldReport run_world(int, const WorldOptions&,
+                               const std::function<void(Communicator&)>&);
+  Communicator(int rank, int global_rank,
+               std::shared_ptr<detail::WorldShared> shared)
+      : rank_(rank), global_rank_(global_rank), shared_(std::move(shared)) {}
+
+  /// Common collective prologue: heartbeat, poisoned fast-fail, and the
+  /// rank_crash / rank_stall / collective_delay fault-injection sites.
+  void enter_collective(const char* op);
+  /// One abortable-barrier round; throws CommAbortedError/CommTimeoutError
+  /// (after recording the failure and poisoning the world) on anything but
+  /// a clean completion.
+  void sync_point(const char* op);
+  [[noreturn]] void throw_aborted(const char* op, std::uint64_t epoch) const;
+  void send_bytes(int to, detail::P2pMessage msg);
+  void recv_bytes(std::span<std::byte> data, int from, int tag);
+  /// Injected rank_stall body: freeze (heartbeat stops) until the cap or,
+  /// for an unbounded stall, until the world is poisoned by a detector.
+  void injected_stall(const char* op, std::uint64_t cap_us);
 
   // Accumulation helpers: fp32 accumulate regardless of storage type.
   static float load_as_float(const float* p) { return *p; }
@@ -179,6 +431,7 @@ class Communicator {
   static void store_from_float(double* p, float v) { *p = v; }
 
   int rank_;
+  int global_rank_;
   std::shared_ptr<detail::WorldShared> shared_;
   int split_calls_ = 0;  ///< lockstep ordinal for subgroup registry keys
 };
@@ -188,38 +441,17 @@ class Communicator {
 
 template <typename T>
 void Communicator::send(std::span<const T> data, int to, int tag) {
-  auto& s = *shared_;
-  ZI_CHECK(to >= 0 && to < s.num_ranks && to != rank_);
-  detail::P2pChannel& ch = s.channel(rank_, to);
   detail::P2pMessage msg;
   msg.tag = tag;
   msg.payload.resize(data.size_bytes());
   std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
-  {
-    LockGuard lock(ch.mutex);
-    ch.queue.push_back(std::move(msg));
-  }
-  ch.cv.notify_one();
-  s.traffic.p2p_bytes.fetch_add(data.size_bytes(), std::memory_order_relaxed);
+  send_bytes(to, std::move(msg));
 }
 
 template <typename T>
 void Communicator::recv(std::span<T> data, int from, int tag) {
-  auto& s = *shared_;
-  ZI_CHECK(from >= 0 && from < s.num_ranks && from != rank_);
-  detail::P2pChannel& ch = s.channel(from, rank_);
-  UniqueLock lock(ch.mutex);
-  while (ch.queue.empty()) ch.cv.wait(lock);
-  detail::P2pMessage msg = std::move(ch.queue.front());
-  ch.queue.pop_front();
-  ZI_CHECK_MSG(msg.tag == tag, "p2p tag mismatch: expected "
-                                   << tag << ", got " << msg.tag
-                                   << " (per-channel FIFO ordering)");
-  ZI_CHECK_MSG(msg.payload.size() == data.size_bytes(),
-               "p2p size mismatch: sent " << msg.payload.size()
-                                          << " bytes, receiving "
-                                          << data.size_bytes());
-  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  recv_bytes({reinterpret_cast<std::byte*>(data.data()), data.size_bytes()},
+             from, tag);
 }
 
 template <typename T>
@@ -228,6 +460,7 @@ void Communicator::broadcast(std::span<T> data, int root) {
   ZI_CHECK(root >= 0 && root < s.num_ranks);
   ZI_TRACE_SPAN("comm", "broadcast",
                 "\"bytes\":" + std::to_string(data.size_bytes()));
+  enter_collective("broadcast");
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.broadcast_bytes.fetch_add(data.size_bytes(),
                                       std::memory_order_relaxed);
@@ -235,7 +468,7 @@ void Communicator::broadcast(std::span<T> data, int root) {
     s.src_ptrs[static_cast<std::size_t>(root)] = data.data();
     s.counts[static_cast<std::size_t>(root)] = data.size();
   }
-  s.sync.arrive_and_wait();  // publish root pointer
+  sync_point("broadcast");  // publish root pointer
   if (rank_ != root) {
     const T* src =
         static_cast<const T*>(s.src_ptrs[static_cast<std::size_t>(root)]);
@@ -243,7 +476,7 @@ void Communicator::broadcast(std::span<T> data, int root) {
                  "broadcast size mismatch");
     std::memcpy(data.data(), src, data.size_bytes());
   }
-  s.sync.arrive_and_wait();  // root buffer safe to reuse
+  sync_point("broadcast");  // root buffer safe to reuse
 }
 
 template <typename T>
@@ -255,18 +488,19 @@ void Communicator::allgather(std::span<const T> send, std::span<T> recv) {
                                   << " * " << n);
   ZI_TRACE_SPAN("comm", "allgather",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
+  enter_collective("allgather");
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.allgather_bytes.fetch_add(send.size_bytes(),
                                       std::memory_order_relaxed);
   s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
   s.counts[static_cast<std::size_t>(rank_)] = send.size();
-  s.sync.arrive_and_wait();  // publish all pointers
+  sync_point("allgather");  // publish all pointers
   for (std::size_t r = 0; r < n; ++r) {
     ZI_CHECK_MSG(s.counts[r] == send.size(), "allgather: unequal send sizes");
     const T* src = static_cast<const T*>(s.src_ptrs[r]);
     std::memcpy(recv.data() + r * send.size(), src, send.size_bytes());
   }
-  s.sync.arrive_and_wait();  // all reads done; send buffers reusable
+  sync_point("allgather");  // all reads done; send buffers reusable
 }
 
 template <typename T>
@@ -279,11 +513,12 @@ void Communicator::reduce_scatter_sum(std::span<const T> send,
                                        << recv.size() << " * " << n);
   ZI_TRACE_SPAN("comm", "reduce_scatter",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
+  enter_collective("reduce_scatter");
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.reduce_scatter_bytes.fetch_add(send.size_bytes(),
                                            std::memory_order_relaxed);
   s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
-  s.sync.arrive_and_wait();
+  sync_point("reduce_scatter");
   // Each rank reduces its own chunk: ascending rank order, fp32 accumulation.
   const std::size_t chunk = recv.size();
   const std::size_t base = static_cast<std::size_t>(rank_) * chunk;
@@ -295,7 +530,7 @@ void Communicator::reduce_scatter_sum(std::span<const T> send,
     }
     store_from_float(recv.data() + i, acc);
   }
-  s.sync.arrive_and_wait();
+  sync_point("reduce_scatter");
 }
 
 template <typename T>
@@ -304,12 +539,13 @@ void Communicator::allreduce_sum(std::span<T> data) {
   const auto n = static_cast<std::size_t>(s.num_ranks);
   ZI_TRACE_SPAN("comm", "allreduce",
                 "\"bytes\":" + std::to_string(data.size_bytes()));
+  enter_collective("allreduce");
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.traffic.allreduce_bytes.fetch_add(data.size_bytes(),
                                       std::memory_order_relaxed);
   s.src_ptrs[static_cast<std::size_t>(rank_)] = data.data();
   s.counts[static_cast<std::size_t>(rank_)] = data.size();
-  s.sync.arrive_and_wait();
+  sync_point("allreduce");
   // Partition the index space; each rank reduces its slice into a private
   // scratch, then writes back after a barrier (in-place allreduce).
   const std::size_t total = data.size();
@@ -325,7 +561,7 @@ void Communicator::allreduce_sum(std::span<T> data) {
     }
     scratch[i - lo] = acc;
   }
-  s.sync.arrive_and_wait();  // all slices reduced before anyone overwrites
+  sync_point("allreduce");  // all slices reduced before anyone overwrites
   // Every rank writes its slice into every rank's buffer.
   for (std::size_t r = 0; r < n; ++r) {
     T* dst = static_cast<T*>(const_cast<void*>(s.src_ptrs[r]));
@@ -333,7 +569,7 @@ void Communicator::allreduce_sum(std::span<T> data) {
       store_from_float(dst + i, scratch[i - lo]);
     }
   }
-  s.sync.arrive_and_wait();
+  sync_point("allreduce");
 }
 
 template <typename T>
@@ -347,10 +583,11 @@ void Communicator::gather(std::span<const T> send, std::span<T> recv,
   }
   ZI_TRACE_SPAN("comm", "gather",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
+  enter_collective("gather");
   s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
   s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
   s.counts[static_cast<std::size_t>(rank_)] = send.size();
-  s.sync.arrive_and_wait();
+  sync_point("gather");
   if (rank_ == root) {
     for (std::size_t r = 0; r < n; ++r) {
       ZI_CHECK(s.counts[r] == send.size());
@@ -358,7 +595,7 @@ void Communicator::gather(std::span<const T> send, std::span<T> recv,
                   send.size_bytes());
     }
   }
-  s.sync.arrive_and_wait();
+  sync_point("gather");
 }
 
 }  // namespace zi

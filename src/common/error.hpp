@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace zi {
 
@@ -61,6 +62,79 @@ class RetriesExhaustedError : public IoError {
 class CheckpointCorruptionError : public Error {
  public:
   explicit CheckpointCorruptionError(const std::string& what) : Error(what) {}
+};
+
+/// Base class for communication failures surfaced by the abortable
+/// communicator (see comm/world.hpp). Carries the operation that failed, the
+/// rank the world blames for the failure (-1 when unattributed), and the
+/// barrier epoch at which the operation aborted. Peers unblocked by a world
+/// poison see these; the elastic supervisor catches them to restart.
+class CommError : public Error {
+ public:
+  CommError(const std::string& what, std::string op, int failing_rank,
+            std::uint64_t epoch)
+      : Error(what),
+        op_(std::move(op)),
+        failing_rank_(failing_rank),
+        epoch_(epoch) {}
+
+  /// Collective/P2P operation that observed the failure ("barrier",
+  /// "allgather", "recv", ...). Not necessarily the op the culprit was in.
+  const std::string& op() const noexcept { return op_; }
+  /// World rank blamed for the failure; -1 if the abort is unattributed.
+  int failing_rank() const noexcept { return failing_rank_; }
+  /// Sync-primitive epoch at which this rank aborted.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::string op_;
+  int failing_rank_;
+  std::uint64_t epoch_;
+};
+
+/// Raised by a comm operation that woke up because the world was poisoned
+/// (a peer failed or an explicit abort was requested) — this rank is a
+/// *victim*, not the culprit.
+class CommAbortedError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// Raised by the comm operation that *detected* the failure: a peer did not
+/// arrive (or a message did not appear) within ZI_COMM_TIMEOUT_MS. The
+/// thrower poisons the world before throwing, so peers see CommAbortedError.
+class CommTimeoutError : public CommError {
+ public:
+  CommTimeoutError(const std::string& what, std::string op, int failing_rank,
+                   std::uint64_t epoch, double timeout_ms)
+      : CommError(what, std::move(op), failing_rank, epoch),
+        timeout_ms_(timeout_ms) {}
+  double timeout_ms() const noexcept { return timeout_ms_; }
+
+ private:
+  double timeout_ms_;
+};
+
+/// Aggregate raised by run_ranks when a world fails in a way that has no
+/// single original exception to rethrow (multiple independent rank failures,
+/// or comm-only aborts after a timeout/stall). The message lists every
+/// failed rank's error; first_failing_rank() is the world's blamed culprit.
+class WorldError : public Error {
+ public:
+  WorldError(const std::string& what, int first_failing_rank,
+             std::vector<int> failed_ranks)
+      : Error(what),
+        first_failing_rank_(first_failing_rank),
+        failed_ranks_(std::move(failed_ranks)) {}
+
+  int first_failing_rank() const noexcept { return first_failing_rank_; }
+  const std::vector<int>& failed_ranks() const noexcept {
+    return failed_ranks_;
+  }
+
+ private:
+  int first_failing_rank_;
+  std::vector<int> failed_ranks_;
 };
 
 namespace detail {

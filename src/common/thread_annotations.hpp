@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -200,6 +201,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(lock.mutex()->m_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // ownership stays with `lock`
+  }
+
+  /// Timed wait; returns false if `rel_time` elapsed without a notification
+  /// (callers must re-check their predicate either way). Same lock-tracker
+  /// model as wait(): the mutex stays marked "held" across the wait.
+  template <typename Rep, typename Period>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& rel_time) {
+    std::unique_lock<std::mutex> native(lock.mutex()->m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, rel_time);
+    native.release();  // ownership stays with `lock`
+    return status == std::cv_status::no_timeout;
   }
 
   /// Predicate wait. NOTE: inside annotated classes prefer an explicit

@@ -1,0 +1,97 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace zi {
+
+namespace {
+std::atomic<std::uint64_t> g_elastic_restarts{0};
+}  // namespace
+
+std::uint64_t elastic_restart_count() noexcept {
+  return g_elastic_restarts.load(std::memory_order_relaxed);
+}
+
+ElasticReport run_elastic(const ElasticConfig& config,
+                          const EngineConfig& engine_config, AioEngine& aio,
+                          const TokenDataset& train,
+                          const TokenDataset* eval_data,
+                          const ModelFactory& make_model) {
+  ZI_CHECK(config.ranks >= 1);
+  ZI_CHECK(config.min_ranks >= 1 && config.min_ranks <= config.ranks);
+  WorldOptions wopts = config.world;
+  if (wopts.timeout_ms <= 0.0) {
+    wopts.timeout_ms = ElasticConfig::kDefaultTimeoutMs;
+  }
+
+  ElasticReport rep;
+  int world = config.ranks;
+  for (;;) {
+    ElasticAttempt attempt;
+    attempt.world = world;
+    TrainerReport trainer_report;
+    std::int64_t resumed_step = 0;
+    ZI_TRACE_SPAN("elastic", "attempt",
+                  "\"world\":" + std::to_string(world));
+    const WorldReport wr =
+        run_world(world, wopts, [&](Communicator& comm) {
+          std::unique_ptr<TrainableModel> model = make_model();
+          ZeroEngine engine(*model, comm, aio, engine_config);
+          Trainer trainer(engine, comm, train, eval_data, config.trainer);
+          const std::int64_t resumed = trainer.try_resume();
+          TrainerReport out = trainer.run();
+          if (comm.rank() == 0) {
+            trainer_report = std::move(out);
+            resumed_step = resumed;
+          }
+        });
+    attempt.resumed_step = resumed_step;
+    if (wr.ok) {
+      attempt.completed = true;
+      rep.attempts.push_back(std::move(attempt));
+      rep.succeeded = true;
+      rep.final_world = world;
+      rep.report = std::move(trainer_report);
+      return rep;
+    }
+
+    attempt.culprit_rank = wr.culprit_rank;
+    attempt.kind = wr.kind;
+    attempt.error = !wr.culprit_what.empty()
+                        ? wr.culprit_what
+                        : (!wr.errors.empty() ? wr.errors.front()
+                                              : "unknown world failure");
+    // Charge the attempt for its real casualties: ranks that failed on
+    // their own (primary exceptions) plus wedged/detached ones. A pure
+    // timeout/stall abort has no primaries — the blamed suspect is the one
+    // casualty.
+    attempt.ranks_lost = std::max<int>(
+        1, static_cast<int>(wr.primary_ranks.size()) + wr.detached);
+    rep.attempts.push_back(attempt);
+
+    const int survivors = world - attempt.ranks_lost;
+    if (survivors < config.min_ranks || rep.restarts >= config.max_restarts) {
+      ZI_LOG_ERROR << "elastic: giving up after " << rep.restarts
+                   << " restart(s): " << survivors << " survivor(s) of "
+                   << world << " (min " << config.min_ranks << ", max "
+                   << config.max_restarts << " restarts); last failure: "
+                   << attempt.error;
+      rep.final_world = world;
+      return rep;
+    }
+    ++rep.restarts;
+    g_elastic_restarts.fetch_add(1, std::memory_order_relaxed);
+    ZI_TRACE_INSTANT("elastic", "restart");
+    ZI_LOG_WARN << "elastic restart " << rep.restarts << ": world " << world
+                << " -> " << survivors << " after "
+                << world_fail_kind_name(attempt.kind) << " on rank "
+                << attempt.culprit_rank << " (" << attempt.error << ")";
+    world = survivors;
+  }
+}
+
+}  // namespace zi

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "core/ckpt_io.hpp"
+#include "core/elastic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "optim/adam.hpp"
@@ -281,6 +282,10 @@ void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
   r.nvme_peak = acct.peak(Tier::kNvme);
   r.arena_peak = res_.gpu().stats().peak_used;
   r.pinned_blocked = res_.pinned().stats().blocked_acquires;
+
+  r.comm_aborts = comm_abort_count();
+  r.elastic_restarts = elastic_restart_count();
+  r.heartbeat_max_age_ms = comm_.health().max_heartbeat_age_ms();
 
   MetricsSink::instance().write(r);
 }

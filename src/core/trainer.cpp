@@ -108,6 +108,9 @@ TrainerReport Trainer::run() {
 
   for (std::int64_t step = engine_.steps() + 1; step <= config_.total_steps;
        ++step) {
+    // One beat per step: compute-heavy phases between collectives must not
+    // look like stalls to the world watchdog.
+    comm_.heartbeat();
     engine_.set_learning_rate(config_.schedule.at(step));
     for (int m = 0; m < config_.micro_batches; ++m) {
       // Distinct stream per (step, micro, rank), identical across

@@ -74,6 +74,12 @@ struct StepReport {
   std::uint64_t arena_peak = 0;       ///< GPU arena high-water (bytes)
   std::uint64_t pinned_blocked = 0;   ///< cumulative blocked pinned acquires
 
+  // Failure tolerance (process-wide cumulative counters + world health —
+  // they survive elastic teardown/relaunch, unlike per-world traffic).
+  std::uint64_t comm_aborts = 0;       ///< comm ops aborted or timed out
+  std::uint64_t elastic_restarts = 0;  ///< elastic world relaunches
+  double heartbeat_max_age_ms = 0.0;   ///< oldest rank heartbeat right now
+
   /// One JSON object, no trailing newline.
   std::string to_json_line() const;
 };

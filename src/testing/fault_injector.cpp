@@ -1,8 +1,10 @@
 #include "testing/fault_injector.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 
 #include "common/error.hpp"
@@ -27,10 +29,17 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 std::uint64_t decision_hash(std::uint64_t seed, FaultSite site,
-                            std::size_t rule_idx, std::uint64_t ordinal) {
+                            std::size_t rule_idx, std::uint64_t ordinal,
+                            int actor = -1) {
   std::uint64_t h = seed;
   h = splitmix64(h ^ (static_cast<std::uint64_t>(site) * 0xA24BAED4963EE407ull));
   h = splitmix64(h ^ (rule_idx * 0x9FB21C651E98DF25ull));
+  if (actor >= 0) {
+    // Only actor-scoped rules mix the actor in, so pre-existing seeded
+    // schedules (no rank= option) replay byte-for-byte.
+    h = splitmix64(h ^ ((static_cast<std::uint64_t>(actor) + 1) *
+                        0xD6E8FEB86659FD93ull));
+  }
   return splitmix64(h ^ ordinal);
 }
 
@@ -42,7 +51,25 @@ bool bernoulli(double p, std::uint64_t hash) {
 }
 
 constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
-    "aio_read", "aio_write", "nvme_alloc", "arena_alloc", "pinned_acquire"};
+    "aio_read",       "aio_write",  "nvme_alloc",      "arena_alloc",
+    "pinned_acquire", "rank_crash", "rank_stall",      "collective_delay"};
+
+// Classic Levenshtein over short names — powers the "did you mean" hint for
+// ZI_FAULTS typos (an unknown site used to silently arm nothing before the
+// spec parser rejected it; now the rejection also suggests the fix).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
 
 }  // namespace
 
@@ -58,7 +85,23 @@ FaultSite fault_site_from_name(const std::string& name) {
       return static_cast<FaultSite>(i);
     }
   }
-  throw Error("ZI_FAULTS: unknown fault site '" + name + "'");
+  std::string msg = "ZI_FAULTS: unknown fault site '" + name + "'";
+  std::size_t best = static_cast<std::size_t>(-1);
+  const char* suggestion = nullptr;
+  for (const char* candidate : kSiteNames) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = candidate;
+    }
+  }
+  if (suggestion != nullptr && best <= 3) {
+    msg += "; did you mean '" + std::string(suggestion) + "'?";
+  }
+  msg += " (known sites:";
+  for (const char* s : kSiteNames) msg += std::string(" ") + s;
+  msg += ")";
+  throw Error(msg);
 }
 
 struct FaultInjector::Impl {
@@ -70,6 +113,10 @@ struct FaultInjector::Impl {
     std::uint64_t ops = 0;
     SiteStats stats;
     std::vector<RuleState> rules;
+    // Per-actor operation counts, maintained only when call sites pass an
+    // actor (comm sites pass the global rank). rank= rules count against
+    // these so a kill ordinal is exact per rank, not per world.
+    std::map<int, std::uint64_t> actor_ops;
   };
 
   // Raw std::mutex: the injector sits underneath zi::Mutex users (arena,
@@ -127,26 +174,33 @@ void FaultInjector::clear() {
   for (auto& s : im.sites) s = Impl::SiteState{};
 }
 
-FaultDecision FaultInjector::evaluate(FaultSite site) {
+FaultDecision FaultInjector::evaluate(FaultSite site, int actor) {
   Impl& im = impl();
   FaultDecision d;
   std::lock_guard<std::mutex> lock(im.mutex);
   Impl::SiteState& s = im.site(site);
   const std::uint64_t ordinal = s.ops++;
+  std::uint64_t actor_ordinal = 0;
+  if (actor >= 0) actor_ordinal = s.actor_ops[actor]++;
   ++s.stats.ops;
   for (std::size_t r = 0; r < s.rules.size(); ++r) {
     Impl::RuleState& rs = s.rules[r];
     const FaultRule& rule = rs.rule;
+    if (rule.actor >= 0 && rule.actor != actor) continue;
     if (rule.max_fires >= 0 &&
         rs.fires >= static_cast<std::uint64_t>(rule.max_fires)) {
       continue;
     }
+    // Actor-scoped rules count the actor's own ops so "rank 2's 40th
+    // collective" is exact regardless of how the ranks interleave.
+    const std::uint64_t n = rule.actor >= 0 ? actor_ordinal : ordinal;
     bool fire;
     if (rule.after >= 0) {
-      fire = ordinal >= static_cast<std::uint64_t>(rule.after);
+      fire = n >= static_cast<std::uint64_t>(rule.after);
     } else {
       fire = bernoulli(rule.probability,
-                       decision_hash(im.seed, site, r, ordinal));
+                       decision_hash(im.seed, site, r, n,
+                                     rule.actor >= 0 ? actor : -1));
     }
     if (!fire) continue;
     ++rs.fires;
@@ -277,6 +331,8 @@ void FaultInjector::configure(const std::string& spec) {
         rule.max_fires = static_cast<std::int64_t>(parse_u64(val, clause));
       } else if (key == "delay_us") {
         rule.delay_us = parse_u64(val, clause);
+      } else if (key == "rank") {
+        rule.actor = static_cast<int>(parse_u64(val, clause));
       } else {
         throw Error("ZI_FAULTS: unknown option '" + key + "' in '" + clause +
                     "'");

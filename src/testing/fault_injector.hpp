@@ -15,6 +15,15 @@
 //                          (simulated GPU OOM; virtual arenas are the
 //                          capacity-experiment substrate and stay exact)
 //   pinned_acquire         PinnedBufferPool acquisition (stall/exhaustion)
+//   rank_crash             Communicator collective entry: the rank throws
+//                          (error kind) — the in-process analog of a worker
+//                          process dying mid-run
+//   rank_stall             Communicator collective entry: the rank freezes
+//                          without heartbeating — unbounded (error kind,
+//                          until the world is poisoned by a detector) or
+//                          bounded "slow rank" (delay kind + delay_us)
+//   collective_delay       Communicator collective entry: plain latency
+//                          (delay kind) without stopping heartbeats
 //
 // Determinism: every site keeps an operation ordinal, and a rule's fire
 // decision for ordinal i is a pure function of (seed, site, rule index, i)
@@ -47,8 +56,11 @@ enum class FaultSite : int {
   kNvmeAllocate,
   kArenaAllocate,
   kPinnedAcquire,
+  kRankCrash,
+  kRankStall,
+  kCollectiveDelay,
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 8;
 
 const char* fault_site_name(FaultSite site);
 /// Parses "aio_read" etc.; throws zi::Error on unknown names.
@@ -72,6 +84,11 @@ struct FaultRule {
   std::int64_t max_fires = -1;
   /// Injected latency for kDelay rules.
   std::uint64_t delay_us = 0;
+  /// When >= 0: the rule only fires for this actor (comm sites pass the
+  /// global rank), and in `after`/ordinal terms the rule counts *that
+  /// actor's* operations rather than the site total — "kill rank 2 at its
+  /// 40th collective" stays exact however the ranks interleave.
+  int actor = -1;
 };
 
 /// The combined verdict for one operation (multiple rules may stack: an
@@ -113,7 +130,8 @@ class FaultInjector {
   ///   "seed=42;aio_read:error,p=0.05;aio_write:short,p=0.1,count=3;
   ///    nvme_alloc:error,after=10;pinned_acquire:delay,p=1,delay_us=200"
   /// Each ';'-separated clause is either "seed=N" or
-  /// "<site>:<kind>[,p=<float>][,after=<n>][,count=<n>][,delay_us=<n>]".
+  /// "<site>:<kind>[,p=<float>][,after=<n>][,count=<n>][,delay_us=<n>]
+  ///  [,rank=<r>]".
   /// Arms the injector when at least one rule results. Throws zi::Error on
   /// malformed specs.
   void configure(const std::string& spec);
@@ -129,9 +147,10 @@ class FaultInjector {
   void clear();
 
   /// Evaluate all rules for one operation at `site`, advancing the site's
-  /// ordinal. Called only when armed(); the injector itself never sleeps or
-  /// throws — call sites interpret the decision.
-  FaultDecision evaluate(FaultSite site);
+  /// ordinal (and, when `actor` >= 0, the per-actor ordinal that rank=
+  /// rules count against). Called only when armed(); the injector itself
+  /// never sleeps or throws — call sites interpret the decision.
+  FaultDecision evaluate(FaultSite site, int actor = -1);
 
   SiteStats stats(FaultSite site) const;
   std::uint64_t total_fires() const;
@@ -145,9 +164,9 @@ class FaultInjector {
 
 /// The per-site guard used at every injection point: one relaxed atomic
 /// load when disabled, a full rule evaluation when armed.
-inline FaultDecision fault_check(FaultSite site) {
+inline FaultDecision fault_check(FaultSite site, int actor = -1) {
   if (!detail::faults_armed()) return {};
-  return FaultInjector::instance().evaluate(site);
+  return FaultInjector::instance().evaluate(site, actor);
 }
 
 }  // namespace zi
