@@ -58,6 +58,14 @@ struct AioConfig {
 class AioStatus {
  public:
   AioStatus() = default;
+  /// A trivially-complete status: done, ok, zero bytes. The adaptor the
+  /// move layer's TransferHandle wraps for transfers that finished inside
+  /// the issuing call (memcpy routes) — named so "this never had I/O in
+  /// flight" is explicit at the call site.
+  static AioStatus completed() { return AioStatus(); }
+  /// True while sub-requests are still in flight (a default-constructed /
+  /// completed() status is never pending).
+  bool pending() const { return !done(); }
   void wait() const;
   bool done() const;
   /// done() with no error recorded. False while sub-requests are in flight.

@@ -29,6 +29,16 @@ class OutOfMemoryError : public Error {
   explicit OutOfMemoryError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a byte-range access (offset + size) falls outside its
+/// target object — e.g. a TierBuffer slice past the buffer end. Typed so
+/// callers can distinguish a bad slice from other invariant violations;
+/// the checks that raise it are overflow-safe (offset + size wrapping
+/// around std::uint64_t cannot sneak past them into the arena).
+class BoundsError : public Error {
+ public:
+  explicit BoundsError(const std::string& what) : Error(what) {}
+};
+
 /// Raised by the I/O engine when a file operation fails. Carries the
 /// originating errno (0 when the failure has no syscall error code) so
 /// callers can distinguish, e.g., EIO from ENOSPC.

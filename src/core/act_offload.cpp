@@ -9,17 +9,22 @@ namespace zi {
 // ---------------------------------------------------------------------------
 // CPU
 
-CpuActivationOffloader::CpuActivationOffloader(MemoryAccountant& accountant)
-    : accountant_(accountant) {}
+CpuActivationOffloader::CpuActivationOffloader(RankResources& res)
+    : res_(res) {}
 
 CpuActivationOffloader::~CpuActivationOffloader() {
-  for (const auto& [slot, t] : slots_) accountant_.sub(Tier::kCpu, t.nbytes());
+  for (const auto& [slot, t] : slots_) {
+    res_.accountant().sub(Tier::kCpu, t.nbytes());
+  }
 }
 
 void CpuActivationOffloader::save(int slot, const Tensor& t) {
   discard(slot);
-  Tensor copy = t.clone();
-  accountant_.add(Tier::kCpu, copy.nbytes());
+  // The PCIe hop to CPU memory goes through the mover so it is counted on
+  // the host>cpu route like every other tier transfer.
+  Tensor copy(t.shape(), t.dtype());
+  res_.mover().spill_copy(Route::kCpuSpill, copy.raw().data(), t.raw());
+  res_.accountant().add(Tier::kCpu, copy.nbytes());
   slots_.emplace(slot, std::move(copy));
   ++saves_;
 }
@@ -27,13 +32,16 @@ void CpuActivationOffloader::save(int slot, const Tensor& t) {
 Tensor CpuActivationOffloader::load(int slot) {
   auto it = slots_.find(slot);
   ZI_CHECK_MSG(it != slots_.end(), "no checkpoint in slot " << slot);
-  return it->second.clone();
+  const Tensor& stored = it->second;
+  Tensor t(stored.shape(), stored.dtype());
+  res_.mover().fetch_copy(Route::kCpuFetch, t.raw(), stored.raw().data());
+  return t;
 }
 
 void CpuActivationOffloader::discard(int slot) {
   auto it = slots_.find(slot);
   if (it == slots_.end()) return;
-  accountant_.sub(Tier::kCpu, it->second.nbytes());
+  res_.accountant().sub(Tier::kCpu, it->second.nbytes());
   slots_.erase(it);
 }
 
@@ -60,20 +68,9 @@ void NvmeActivationOffloader::save(int slot, const Tensor& t) {
 
   // Stage the bytes so the caller's tensor can die while the async write is
   // still in flight; the write overlaps the wrapped block's forward pass.
-  std::span<const std::byte> src = t.raw();
-  std::span<std::byte> staged;
-  if (s.bytes <= res_.pinned().buffer_bytes()) {
-    if (auto lease = res_.pinned().try_acquire()) {
-      s.lease = std::move(*lease);
-      staged = {s.lease.data(), s.bytes};
-    }
-  }
-  if (staged.empty()) {
-    s.heap_staging.resize(s.bytes);
-    staged = s.heap_staging;
-  }
-  std::memcpy(staged.data(), src.data(), s.bytes);
-  s.pending_write = res_.nvme().write_async(s.extent, staged);
+  s.staging = res_.mover().stage(s.bytes);
+  std::memcpy(s.staging.bytes().data(), t.raw().data(), s.bytes);
+  s.pending_write = res_.mover().spill_nvme(s.extent, s.staging.bytes());
   res_.accountant().add(Tier::kNvme, s.bytes);
   slots_.emplace(slot, std::move(s));
   ++saves_;
@@ -85,7 +82,7 @@ Tensor NvmeActivationOffloader::load(int slot) {
   Slot& s = it->second;
   s.pending_write.wait();  // the write must land before we read it back
   Tensor t(s.shape, s.dtype);
-  res_.nvme().read(s.extent, t.raw());
+  res_.mover().fetch_nvme_sync(s.extent, t.raw());
   return t;
 }
 

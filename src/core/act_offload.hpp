@@ -17,12 +17,14 @@
 
 #include "core/rank_resources.hpp"
 #include "model/checkpoint.hpp"
+#include "move/data_mover.hpp"
+#include "move/staging.hpp"
 
 namespace zi {
 
 class CpuActivationOffloader : public ActivationOffloader {
  public:
-  explicit CpuActivationOffloader(MemoryAccountant& accountant);
+  explicit CpuActivationOffloader(RankResources& res);
   ~CpuActivationOffloader() override;
 
   void save(int slot, const Tensor& t) override;
@@ -32,7 +34,7 @@ class CpuActivationOffloader : public ActivationOffloader {
   std::uint64_t saves() const noexcept { return saves_; }
 
  private:
-  MemoryAccountant& accountant_;
+  RankResources& res_;
   std::unordered_map<int, Tensor> slots_;
   std::uint64_t saves_ = 0;
 };
@@ -54,11 +56,10 @@ class NvmeActivationOffloader : public ActivationOffloader {
     std::vector<std::int64_t> shape;
     DType dtype = DType::kF32;
     std::size_t bytes = 0;
-    AioStatus pending_write;
+    TransferHandle pending_write;
     // Staging keeps the bytes alive while the async write is in flight;
     // a pinned-pool lease when the checkpoint fits, heap otherwise.
-    PinnedLease lease;
-    std::vector<std::byte> heap_staging;
+    StagingLease staging;
   };
 
   RankResources& res_;

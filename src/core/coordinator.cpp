@@ -150,8 +150,7 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
       // Only the owner ever stages a prefetch in broadcast mode (see the
       // suppression in issue_prefetches), so only the owner consumes one.
       if (std::optional<PrefetchSlot> staged = take_prefetch(p->id())) {
-        std::copy(staged->staging.begin(), staged->staging.end(),
-                  padded.begin());
+        std::copy(staged->view.begin(), staged->view.end(), padded.begin());
       } else {
         store_.load_param_full(p, padded);
       }
@@ -169,7 +168,7 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
     std::vector<half> shard_heap;
     std::span<const half> shard;
     if (staged) {
-      shard = staged->staging;
+      shard = staged->view;
     } else {
       shard_heap.resize(shard_n);
       store_.load_param_shard(p, shard_heap);
@@ -217,8 +216,8 @@ std::optional<ParamCoordinator::PrefetchSlot> ParamCoordinator::take_prefetch(
   prefetch_.erase(it);
   try {
     // wait() returns (or throws) only once every sub-request has completed,
-    // so destroying the staging buffer afterwards is safe even on failure.
-    slot.status.wait();
+    // so destroying the staging lease afterwards is safe even on failure.
+    slot.handle.wait();
   } catch (...) {
     // Staged data abandoned; the pinned lease is released by slot's
     // destructor during unwinding, and the next fetch of this parameter
@@ -284,21 +283,15 @@ void ParamCoordinator::issue_prefetches() {
         store_.broadcast_mode()
             ? static_cast<std::size_t>(p->numel())
             : static_cast<std::size_t>(store_.param_spec(p).shard_elems);
+    // Staging comes from the DataMover: pinned lease when one fits and is
+    // free, heap otherwise (Sec. 6.3) — the same fault-injection site
+    // (pinned_acquire) as before sits inside stage().
     PrefetchSlot slot;
-    // Stage into a pinned buffer when one fits and is free; heap otherwise.
-    if (elems * sizeof(half) <= res_.pinned().buffer_bytes()) {
-      if (auto lease = res_.pinned().try_acquire()) {
-        slot.lease = std::move(*lease);
-        slot.staging = {reinterpret_cast<half*>(slot.lease.data()), elems};
-      }
-    }
-    if (slot.staging.empty()) {
-      slot.heap.resize(elems);
-      slot.staging = slot.heap;
-    }
-    slot.status = store_.broadcast_mode()
-                      ? store_.load_param_full_async(p, slot.staging)
-                      : store_.load_param_shard_async(p, slot.staging);
+    slot.staging = res_.mover().stage(elems * sizeof(half));
+    slot.view = {reinterpret_cast<half*>(slot.staging.bytes().data()), elems};
+    slot.handle = store_.broadcast_mode()
+                      ? store_.load_param_full_async(p, slot.view)
+                      : store_.load_param_shard_async(p, slot.view);
     ZI_TRACE_INSTANT("coord", "prefetch:" + p->name(),
                      "\"bytes\":" + std::to_string(elems * sizeof(half)));
     if (observer_) {
@@ -307,7 +300,7 @@ void ParamCoordinator::issue_prefetches() {
       ev.param = p->name();
       ev.tier = config_.param_placement;
       ev.broadcast = store_.broadcast_mode();
-      ev.pinned_staging = slot.heap.empty();
+      ev.pinned_staging = slot.staging.pinned();
       emit(ev);
     }
     prefetch_.emplace(id, std::move(slot));
@@ -318,9 +311,9 @@ void ParamCoordinator::issue_prefetches() {
 void ParamCoordinator::drop_prefetches() {
   for (auto& [id, slot] : prefetch_) {
     try {
-      // In-flight reads must land before their staging buffers die; an I/O
+      // In-flight reads must land before their staging leases die; an I/O
       // failure is immaterial here — the staged data is discarded anyway.
-      slot.status.wait();
+      slot.handle.wait();
     } catch (...) {
     }
     ++stats_.prefetch_drops;

@@ -30,12 +30,15 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "comm/world.hpp"
 #include "core/state_store.hpp"
+#include "move/data_mover.hpp"
+#include "move/staging.hpp"
 #include "core/zero_config.hpp"
 #include "model/module.hpp"
 
@@ -136,14 +139,15 @@ class ParamCoordinator {
   void on_pre_backward(Module& m);
   void on_post_backward(Module& m);
 
-  // Prefetch staging prefers a lease from the pinned-buffer pool (the
-  // infinity offload engine reads into pinned memory, Sec. 6.3); falls
-  // back to heap when the pool is exhausted or the shard is too large.
+  // Prefetch staging comes from DataMover::stage(): a pinned-pool lease
+  // when one fits and is free (the infinity offload engine reads into
+  // pinned memory, Sec. 6.3), heap otherwise. The slot owns the staging
+  // lease and the in-flight handle; destroying it (consume or drop)
+  // returns the lease — exception paths can never strand a pinned buffer.
   struct PrefetchSlot {
-    PinnedLease lease;
-    std::vector<half> heap;
-    AioStatus status;
-    std::span<half> staging;  // into lease or heap
+    StagingLease staging;
+    TransferHandle handle;
+    std::span<half> view;  // staging.bytes() reinterpreted as half
   };
 
   static void intercept_access(void* ctx, Parameter* p);

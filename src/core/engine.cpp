@@ -64,8 +64,7 @@ ZeroEngine::ZeroEngine(TrainableModel& model, Communicator& comm,
     case Placement::kGpu:
       break;  // checkpoints stay local
     case Placement::kCpu:
-      act_offloader_ =
-          std::make_unique<CpuActivationOffloader>(res_.accountant());
+      act_offloader_ = std::make_unique<CpuActivationOffloader>(res_);
       model_.set_activation_offloader(act_offloader_.get());
       break;
     case Placement::kNvme:
@@ -272,6 +271,23 @@ void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
     r.reduce_seconds = cs.reduce_seconds - metrics_base_.reduce_seconds;
     metrics_base_.reduce_seconds = cs.reduce_seconds;
   }
+
+  const DataMover::Stats mv = res_.mover().stats();
+  auto route_delta = [&](Route route) {
+    const auto i = static_cast<std::size_t>(route);
+    return delta(mv.routes[i].bytes, metrics_base_.move_route_bytes[i]);
+  };
+  r.move_gpu_fetch_bytes = route_delta(Route::kGpuFetch);
+  r.move_gpu_spill_bytes = route_delta(Route::kGpuSpill);
+  r.move_cpu_fetch_bytes = route_delta(Route::kCpuFetch);
+  r.move_cpu_spill_bytes = route_delta(Route::kCpuSpill);
+  r.move_nvme_fetch_bytes = route_delta(Route::kNvmeFetch);
+  r.move_nvme_spill_bytes = route_delta(Route::kNvmeSpill);
+  r.move_transfers = delta(mv.total_transfers(), metrics_base_.move_transfers);
+  r.move_wait_seconds = mv.total_seconds() - metrics_base_.move_wait_seconds;
+  metrics_base_.move_wait_seconds = mv.total_seconds();
+  r.staged_pinned = delta(mv.staged_pinned, metrics_base_.staged_pinned);
+  r.staged_heap = delta(mv.staged_heap, metrics_base_.staged_heap);
 
   const MemoryAccountant& acct = res_.accountant();
   r.gpu_used = acct.used(Tier::kGpu);

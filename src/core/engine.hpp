@@ -151,6 +151,11 @@ class ZeroEngine {
     std::uint64_t grads_reduced = 0;
     double fetch_seconds = 0.0;
     double reduce_seconds = 0.0;
+    std::uint64_t move_route_bytes[kNumRoutes] = {};
+    std::uint64_t move_transfers = 0;
+    double move_wait_seconds = 0.0;
+    std::uint64_t staged_pinned = 0;
+    std::uint64_t staged_heap = 0;
   };
   CounterBase metrics_base_;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "move/pipeline.hpp"
 #include "optim/adam.hpp"
 #include "tensor/cast.hpp"
 #include "tensor/ops.hpp"
@@ -111,7 +112,8 @@ void OptimizerDriver::step_chunked_nvme(Parameter* p, std::int64_t step_num,
   const std::int64_t chunk = config_.optimizer_chunk_elems;
   const std::int64_t num_chunks = (total + chunk - 1) / chunk;
 
-  // Double-buffered pipeline: while chunk c computes, chunk c+1's state
+  // Double-buffered pipeline (DoubleBufferPipeline owns the reuse-safety
+  // and quiescence invariants): while chunk c computes, chunk c+1's state
   // reads and chunk c-1's write-backs are in flight (Sec. 5.2.2). With
   // overlap disabled, the same loop degenerates to sequential
   // load → compute → store (the ablation baseline).
@@ -119,12 +121,12 @@ void OptimizerDriver::step_chunked_nvme(Parameter* p, std::int64_t step_num,
     std::vector<float> master, momentum, variance;
     std::vector<half> grad16, updated16;
     std::vector<float> grad;
-    AioStatus load_m, load_mom, load_var;
-    AioStatus store_m, store_mom, store_var, store_p;
+    TransferHandle load_m, load_mom, load_var;
+    TransferHandle store_m, store_mom, store_var, store_p;
     std::int64_t elems = 0;
   };
-  ChunkBuf bufs[2];
-  for (auto& b : bufs) {
+  DoubleBufferPipeline<ChunkBuf> pipeline;
+  for (auto& b : pipeline.buffers()) {
     const auto cap = static_cast<std::size_t>(std::min(chunk, total));
     b.master.resize(cap);
     b.momentum.resize(cap);
@@ -134,96 +136,65 @@ void OptimizerDriver::step_chunked_nvme(Parameter* p, std::int64_t step_num,
     b.updated16.resize(cap);
   }
 
-  auto issue_load = [&](std::int64_t c, ChunkBuf& b) {
-    const std::int64_t lo = c * chunk;
-    const std::int64_t n = std::min(chunk, total - lo);
-    b.elems = n;
-    const std::uint64_t byte_off =
-        static_cast<std::uint64_t>(lo) * sizeof(float);
-    const auto un = static_cast<std::size_t>(n);
-    b.load_m = store_.master(p).load_async(
-        bytes_of({b.master.data(), un}), byte_off);
-    b.load_mom = store_.momentum(p).load_async(
-        bytes_of({b.momentum.data(), un}), byte_off);
-    b.load_var = store_.variance(p).load_async(
-        bytes_of({b.variance.data(), un}), byte_off);
-  };
-
-  auto wait_stores = [](ChunkBuf& b) {
-    b.store_m.wait();
-    b.store_mom.wait();
-    b.store_var.wait();
-    b.store_p.wait();
-  };
-
-  // Unwinding with chunk I/O in flight would free the buffers under the
-  // workers; guarantee quiescence on every exit path.
-  auto quiesce = [&]() noexcept {
-    for (auto& b : bufs) {
-      try {
+  pipeline.run(
+      num_chunks, config_.overlap_transfers,
+      /*issue_load=*/
+      [&](std::int64_t c, ChunkBuf& b) {
+        const std::int64_t lo = c * chunk;
+        const std::int64_t n = std::min(chunk, total - lo);
+        b.elems = n;
+        const std::uint64_t byte_off =
+            static_cast<std::uint64_t>(lo) * sizeof(float);
+        const auto un = static_cast<std::size_t>(n);
+        b.load_m = store_.master(p).load_async(
+            bytes_of({b.master.data(), un}), byte_off);
+        b.load_mom = store_.momentum(p).load_async(
+            bytes_of({b.momentum.data(), un}), byte_off);
+        b.load_var = store_.variance(p).load_async(
+            bytes_of({b.variance.data(), un}), byte_off);
+      },
+      /*wait_load=*/
+      [](ChunkBuf& b) {
         b.load_m.wait();
         b.load_mom.wait();
         b.load_var.wait();
+      },
+      /*compute=*/
+      [&](std::int64_t c, ChunkBuf& b) {
+        const std::int64_t lo = c * chunk;
+        const auto n = static_cast<std::size_t>(b.elems);
+        // Gradient chunk from the gradient tier (chunked like the state so
+        // CPU staging memory stays bounded).
+        store_.load_grad_shard_chunk(p, {b.grad16.data(), n}, lo);
+        cast_f16_to_f32({b.grad16.data(), n}, {b.grad.data(), n});
+
+        adam_step(config_.adam, step_num, {b.master.data(), n},
+                  {b.momentum.data(), n}, {b.variance.data(), n},
+                  {b.grad.data(), n}, grad_scale, clip_coef);
+        ++stats_.chunks_pipelined;
+
+        cast_f32_to_f16({b.master.data(), n}, {b.updated16.data(), n});
+
+        const std::uint64_t byte_off =
+            static_cast<std::uint64_t>(lo) * sizeof(float);
+        b.store_m = store_.master(p).store_async(
+            cbytes_of({b.master.data(), n}), byte_off);
+        b.store_mom = store_.momentum(p).store_async(
+            cbytes_of({b.momentum.data(), n}), byte_off);
+        b.store_var = store_.variance(p).store_async(
+            cbytes_of({b.variance.data(), n}), byte_off);
+        if (write_param_shards) {
+          b.store_p = store_.store_param_shard_async(
+              p, std::span<const half>(b.updated16.data(), n), lo);
+        }
+      },
+      /*wait_store=*/
+      [](ChunkBuf& b) {
         b.store_m.wait();
         b.store_mom.wait();
         b.store_var.wait();
         b.store_p.wait();
-      } catch (...) {
-      }
-    }
-  };
-
-  const bool overlap = config_.overlap_transfers;
-  try {
-    issue_load(0, bufs[0]);
-
-    for (std::int64_t c = 0; c < num_chunks; ++c) {
-    ChunkBuf& b = bufs[c % 2];
-    if (overlap && c + 1 < num_chunks) {
-      // Reuse safety: the buffer receiving chunk c+1 last carried chunk
-      // c-1; its write-backs must land before we overwrite it.
-      ChunkBuf& next = bufs[(c + 1) % 2];
-      wait_stores(next);
-      issue_load(c + 1, next);
-    }
-    b.load_m.wait();
-    b.load_mom.wait();
-    b.load_var.wait();
-
-    const std::int64_t lo = c * chunk;
-    const auto n = static_cast<std::size_t>(b.elems);
-    // Gradient chunk from the gradient tier (chunked like the state so CPU
-    // staging memory stays bounded).
-    store_.load_grad_shard_chunk(p, {b.grad16.data(), n}, lo);
-    cast_f16_to_f32({b.grad16.data(), n}, {b.grad.data(), n});
-
-    adam_step(config_.adam, step_num, {b.master.data(), n},
-              {b.momentum.data(), n}, {b.variance.data(), n},
-              {b.grad.data(), n}, grad_scale, clip_coef);
-    ++stats_.chunks_pipelined;
-
-    cast_f32_to_f16({b.master.data(), n}, {b.updated16.data(), n});
-
-    const std::uint64_t byte_off =
-        static_cast<std::uint64_t>(lo) * sizeof(float);
-    b.store_m = store_.master(p).store_async(
-        cbytes_of({b.master.data(), n}), byte_off);
-    b.store_mom = store_.momentum(p).store_async(
-        cbytes_of({b.momentum.data(), n}), byte_off);
-    b.store_var = store_.variance(p).store_async(
-        cbytes_of({b.variance.data(), n}), byte_off);
-    if (write_param_shards) {
-      b.store_p = store_.store_param_shard_async(
-          p, std::span<const half>(b.updated16.data(), n), lo);
-    }
-      if (!overlap) wait_stores(b);
-    }
-  } catch (...) {
-    quiesce();
-    throw;
-  }
-  wait_stores(bufs[0]);
-  wait_stores(bufs[1]);
+      });
 }
 
 }  // namespace zi

@@ -20,6 +20,7 @@ RankResources::RankResources(int rank, AioEngine& aio,
       nvme_capacity);
   pinned_ = std::make_unique<PinnedBufferPool>(pinned_buffer_bytes,
                                                pinned_buffer_count);
+  mover_ = std::make_unique<DataMover>(*nvme_, *pinned_);
 }
 
 }  // namespace zi

@@ -6,7 +6,9 @@
 //     shared AioEngine — all ranks' swap files share the engine's worker
 //     pool, which is how the aggregate-PCIe/NVMe parallelism of
 //     bandwidth-centric partitioning materializes),
-//   * a PinnedBufferPool for staging transfers (Sec. 6.3), and
+//   * a PinnedBufferPool for staging transfers (Sec. 6.3),
+//   * a DataMover — the unified async data-movement pipeline every tier
+//     transfer on this rank routes through (src/move), and
 //   * a MemoryAccountant tracking bytes per tier.
 #pragma once
 
@@ -19,6 +21,7 @@
 #include "mem/accountant.hpp"
 #include "mem/arena.hpp"
 #include "mem/pinned_pool.hpp"
+#include "move/data_mover.hpp"
 
 namespace zi {
 
@@ -45,6 +48,8 @@ class RankResources {
   DeviceArena& gpu() noexcept { return *gpu_; }
   NvmeStore& nvme() noexcept { return *nvme_; }
   PinnedBufferPool& pinned() noexcept { return *pinned_; }
+  DataMover& mover() noexcept { return *mover_; }
+  const DataMover& mover() const noexcept { return *mover_; }
   MemoryAccountant& accountant() noexcept { return accountant_; }
   const MemoryAccountant& accountant() const noexcept { return accountant_; }
   AioEngine& aio() noexcept { return aio_; }
@@ -55,6 +60,7 @@ class RankResources {
   std::unique_ptr<DeviceArena> gpu_;
   std::unique_ptr<NvmeStore> nvme_;
   std::unique_ptr<PinnedBufferPool> pinned_;
+  std::unique_ptr<DataMover> mover_;  // after nvme_/pinned_: refs them
   MemoryAccountant accountant_;
   bool spill_on_oom_ = false;
 };

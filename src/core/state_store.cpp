@@ -106,19 +106,26 @@ int ModelStateStore::param_owner(const Parameter* p) const {
   return p->id() % world_;
 }
 
-void ModelStateStore::load_param_full(const Parameter* p,
-                                      std::span<half> dst) const {
-  load_param_full_async(p, dst).wait();
-}
-
-AioStatus ModelStateStore::load_param_full_async(const Parameter* p,
-                                                 std::span<half> dst) const {
+const TierBuffer& ModelStateStore::param_full_buffer(const Parameter* p,
+                                                     std::size_t elems) const {
   const Entry& e = entry(p);
   ZI_CHECK_MSG(e.param_fp16 != nullptr && broadcast_mode(),
                "no whole-parameter copy of " << p->name() << " on rank "
                                              << rank_);
-  ZI_CHECK(static_cast<std::int64_t>(dst.size()) == p->numel());
-  return e.param_fp16->load_async(as_bytes_span(dst));
+  ZI_CHECK(static_cast<std::int64_t>(elems) == p->numel());
+  return *e.param_fp16;
+}
+
+void ModelStateStore::load_param_full(const Parameter* p,
+                                      std::span<half> dst) const {
+  // Eager path: straight through the DataMover's synchronous helper — no
+  // async handle is built just to be waited on.
+  param_full_buffer(p, dst.size()).load(as_bytes_span(dst));
+}
+
+TransferHandle ModelStateStore::load_param_full_async(
+    const Parameter* p, std::span<half> dst) const {
+  return param_full_buffer(p, dst.size()).load_async(as_bytes_span(dst));
 }
 
 void ModelStateStore::store_param_full(const Parameter* p,
@@ -134,23 +141,27 @@ const ShardSpec& ModelStateStore::opt_spec(const Parameter* p) const {
   return entry(p).opt_spec;
 }
 
-AioStatus ModelStateStore::load_param_shard_async(const Parameter* p,
-                                                  std::span<half> dst) const {
+const TierBuffer& ModelStateStore::param_shard_buffer(
+    const Parameter* p) const {
   const Entry& e = entry(p);
   ZI_CHECK_MSG(e.param_fp16 != nullptr,
                "no parameter shard for " << p->name()
                                          << " (params not partitioned)");
-  return e.param_fp16->load_async(as_bytes_span(dst));
+  return *e.param_fp16;
+}
+
+TransferHandle ModelStateStore::load_param_shard_async(
+    const Parameter* p, std::span<half> dst) const {
+  return param_shard_buffer(p).load_async(as_bytes_span(dst));
 }
 
 void ModelStateStore::load_param_shard(const Parameter* p,
                                        std::span<half> dst) const {
-  load_param_shard_async(p, dst).wait();
+  param_shard_buffer(p).load(as_bytes_span(dst));
 }
 
-AioStatus ModelStateStore::store_param_shard_async(const Parameter* p,
-                                                   std::span<const half> src,
-                                                   std::int64_t elem_offset) {
+TransferHandle ModelStateStore::store_param_shard_async(
+    const Parameter* p, std::span<const half> src, std::int64_t elem_offset) {
   Entry& e = entry(p);
   ZI_CHECK(e.param_fp16 != nullptr);
   return e.param_fp16->store_async(

@@ -44,19 +44,21 @@ class ModelStateStore {
     return config_.params_partitioned() && !config_.bandwidth_centric;
   }
   /// Begin an async load of the parameter shard (NVMe: real async).
-  AioStatus load_param_shard_async(const Parameter* p,
-                                   std::span<half> dst) const;
+  TransferHandle load_param_shard_async(const Parameter* p,
+                                        std::span<half> dst) const;
+  /// Synchronous load through the DataMover's eager path (no completion
+  /// handle is materialized — the hot path for non-prefetched gathers).
   void load_param_shard(const Parameter* p, std::span<half> dst) const;
   /// Overwrite the shard (post-optimizer write-back). Offset in elements.
-  AioStatus store_param_shard_async(const Parameter* p,
-                                    std::span<const half> src,
-                                    std::int64_t elem_offset = 0);
+  TransferHandle store_param_shard_async(const Parameter* p,
+                                         std::span<const half> src,
+                                         std::int64_t elem_offset = 0);
 
   /// Broadcast mode: load/store the owner's whole copy (numel elements;
   /// only valid on the owning rank).
   void load_param_full(const Parameter* p, std::span<half> dst) const;
-  AioStatus load_param_full_async(const Parameter* p,
-                                  std::span<half> dst) const;
+  TransferHandle load_param_full_async(const Parameter* p,
+                                       std::span<half> dst) const;
   void store_param_full(const Parameter* p, std::span<const half> src);
 
   // --- fp16 gradient shards ----------------------------------------------
@@ -96,6 +98,11 @@ class ModelStateStore {
 
   const Entry& entry(const Parameter* p) const;
   Entry& entry(const Parameter* p);
+  /// Validated access to the fp16 parameter buffer (stage 3 slice / owner
+  /// whole copy) — shared by the sync and async load paths.
+  const TierBuffer& param_shard_buffer(const Parameter* p) const;
+  const TierBuffer& param_full_buffer(const Parameter* p,
+                                      std::size_t elems) const;
 
   RankResources& res_;
   EngineConfig config_;

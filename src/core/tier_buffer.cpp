@@ -1,6 +1,6 @@
 #include "core/tier_buffer.hpp"
 
-#include <cstring>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -72,36 +72,55 @@ const std::byte* TierBuffer::data() const noexcept {
   return const_cast<TierBuffer*>(this)->data();
 }
 
+void TierBuffer::check_slice(const char* op, std::uint64_t offset,
+                             std::uint64_t size) const {
+  if (offset > bytes_ || size > bytes_ - offset) {
+    std::ostringstream os;
+    os << "TierBuffer: " << op << " of " << size << " bytes at offset "
+       << offset << " exceeds " << tier_name(tier_) << " buffer of "
+       << bytes_ << " bytes";
+    throw BoundsError(os.str());
+  }
+}
+
 void TierBuffer::store(std::span<const std::byte> src, std::uint64_t offset) {
-  store_async(src, offset).wait();
+  check_slice("store", offset, src.size());
+  DataMover& mover = res_->mover();
+  if (tier_ == Tier::kNvme) {
+    mover.spill_nvme_sync(extent_, src, offset);
+  } else {
+    mover.spill_copy(spill_route(tier_), data() + offset, src);
+  }
 }
 
 void TierBuffer::load(std::span<std::byte> dst, std::uint64_t offset) const {
-  load_async(dst, offset).wait();
+  check_slice("load", offset, dst.size());
+  DataMover& mover = res_->mover();
+  if (tier_ == Tier::kNvme) {
+    mover.fetch_nvme_sync(extent_, dst, offset);
+  } else {
+    mover.fetch_copy(fetch_route(tier_), dst, data() + offset);
+  }
 }
 
-AioStatus TierBuffer::store_async(std::span<const std::byte> src,
-                                  std::uint64_t offset) {
-  ZI_CHECK_MSG(offset + src.size() <= bytes_,
-               "store of " << src.size() << " at offset " << offset
-                           << " into buffer of " << bytes_);
+TransferHandle TierBuffer::store_async(std::span<const std::byte> src,
+                                       std::uint64_t offset) {
+  check_slice("store", offset, src.size());
   if (tier_ == Tier::kNvme) {
-    return res_->nvme().write_async(extent_, src, offset);
+    return res_->mover().spill_nvme(extent_, src, offset);
   }
-  std::memcpy(data() + offset, src.data(), src.size());
-  return AioStatus();  // trivially complete
+  res_->mover().spill_copy(spill_route(tier_), data() + offset, src);
+  return TransferHandle();  // trivially complete
 }
 
-AioStatus TierBuffer::load_async(std::span<std::byte> dst,
-                                 std::uint64_t offset) const {
-  ZI_CHECK_MSG(offset + dst.size() <= bytes_,
-               "load of " << dst.size() << " at offset " << offset
-                          << " from buffer of " << bytes_);
+TransferHandle TierBuffer::load_async(std::span<std::byte> dst,
+                                      std::uint64_t offset) const {
+  check_slice("load", offset, dst.size());
   if (tier_ == Tier::kNvme) {
-    return res_->nvme().read_async(extent_, dst, offset);
+    return res_->mover().fetch_nvme(extent_, dst, offset);
   }
-  std::memcpy(dst.data() + 0, data() + offset, dst.size());
-  return AioStatus();
+  res_->mover().fetch_copy(fetch_route(tier_), dst, data() + offset);
+  return TransferHandle();
 }
 
 }  // namespace zi

@@ -7,6 +7,10 @@
 // buffer pool. load/store have async variants that are genuinely
 // asynchronous on the NVMe tier — this is what the prefetcher and the
 // chunked optimizer pipeline overlap against compute.
+//
+// All byte movement — including the GPU/CPU memcpy paths — routes through
+// the rank's DataMover, so every transfer is bounds-checked (typed
+// BoundsError, overflow-safe), traced, and counted per route.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,7 @@
 
 #include "aio/nvme_store.hpp"
 #include "core/rank_resources.hpp"
+#include "move/data_mover.hpp"
 
 namespace zi {
 
@@ -48,19 +53,26 @@ class TierBuffer {
   std::byte* data() noexcept;
   const std::byte* data() const noexcept;
 
-  /// Copy `src` into the buffer at byte `offset`.
+  /// Copy `src` into the buffer at byte `offset` (synchronous; the eager
+  /// path — no completion handle is materialized).
   void store(std::span<const std::byte> src, std::uint64_t offset = 0);
   /// Copy dst.size() bytes out of the buffer starting at `offset`.
   void load(std::span<std::byte> dst, std::uint64_t offset = 0) const;
 
   /// Async variants: complete immediately for GPU/CPU tiers, return a real
-  /// in-flight status for NVMe. The caller's span must outlive the status.
-  AioStatus store_async(std::span<const std::byte> src,
-                        std::uint64_t offset = 0);
-  AioStatus load_async(std::span<std::byte> dst,
-                       std::uint64_t offset = 0) const;
+  /// in-flight handle for NVMe. The caller's span must outlive the handle.
+  TransferHandle store_async(std::span<const std::byte> src,
+                             std::uint64_t offset = 0);
+  TransferHandle load_async(std::span<std::byte> dst,
+                            std::uint64_t offset = 0) const;
 
  private:
+  /// Overflow-safe slice validation: throws BoundsError unless
+  /// [offset, offset+size) fits in the buffer — `offset + size` is never
+  /// formed, so std::uint64_t wraparound cannot corrupt the arena.
+  void check_slice(const char* op, std::uint64_t offset,
+                   std::uint64_t size) const;
+
   RankResources* res_;
   Tier tier_;
   Tier requested_tier_;

@@ -92,6 +92,12 @@ std::optional<PinnedLease> PinnedBufferPool::try_acquire() {
   return make_lease_locked();
 }
 
+std::optional<PinnedLease> PinnedBufferPool::try_acquire_for(
+    std::size_t bytes) {
+  if (bytes > buffer_bytes_) return std::nullopt;
+  return try_acquire();
+}
+
 PinnedLease PinnedBufferPool::make_lease_locked() {
   const std::size_t idx = free_indices_.back();
   free_indices_.pop_back();

@@ -74,6 +74,13 @@ class PinnedBufferPool {
   /// Acquire without blocking; nullopt if all buffers are leased.
   std::optional<PinnedLease> try_acquire() ZI_EXCLUDES(mutex_);
 
+  /// Acquire a buffer able to hold `bytes` without blocking: nullopt when
+  /// `bytes` exceeds the pool's buffer size (without touching the pool or
+  /// its fault site) or when every buffer is leased. The single decision
+  /// point behind DataMover::stage()'s pinned-or-heap staging choice.
+  std::optional<PinnedLease> try_acquire_for(std::size_t bytes)
+      ZI_EXCLUDES(mutex_);
+
   std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
   std::size_t num_buffers() const noexcept { return buffers_.size(); }
   std::size_t available() const ZI_EXCLUDES(mutex_);

@@ -1,0 +1,174 @@
+// DataMover — the one pipeline behind every tier transfer (Sec. 6.2/6.3).
+//
+// Before this layer, four subsystems each re-derived the same moves with
+// bare AioStatus + pinned-lease juggling: coordinator prefetch slots, the
+// optimizer's chunked NVMe pipeline, the NVMe activation offloader, and the
+// state store's sync wrappers — while TierBuffer moved GPU/CPU bytes with
+// raw memcpy. DataMover unifies them:
+//
+//   * stage(bytes)   — one pinned-or-heap staging decision (StagingLease),
+//                      under the existing `pinned_acquire` fault site;
+//   * fetch_/spill_* — every hop between a tier and a host buffer, async
+//                      (NVMe, returning a TransferHandle that wraps the
+//                      AioStatus) or synchronous eager (memcpy routes and
+//                      the *_sync NVMe helpers, which skip the handle);
+//   * per-route counters (bytes / transfers / seconds) exported into
+//     StepReport, and a ZI_TRACE_SPAN on every transfer.
+//
+// One DataMover per rank (owned by RankResources, like the arena and the
+// pinned pool); counters are relaxed atomics because rank threads and tests
+// may read them while transfers complete (accountant pattern — lock-free,
+// no ZI_GUARDED_BY).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "aio/nvme_store.hpp"
+#include "move/staging.hpp"
+#include "move/transfer.hpp"
+
+namespace zi {
+
+class DataMover;
+
+/// Completion handle for one asynchronous transfer. Wraps the AioEngine
+/// status with the route descriptor and the mover's latency accounting.
+/// Move-only so wait-latency is recorded exactly once; default-constructed
+/// handles are trivially complete (the memcpy routes and empty slots).
+///
+/// Drop semantics: destroying a handle does NOT wait — callers that may
+/// abandon an in-flight transfer keep the staging buffer alive and wait (or
+/// swallow) through their own quiescence path, exactly like the
+/// coordinator's take_prefetch/drop_prefetches pair.
+class TransferHandle {
+ public:
+  TransferHandle() = default;
+  TransferHandle(TransferHandle&& o) noexcept
+      : mover_(o.mover_), transfer_(o.transfer_), status_(o.status_) {
+    o.mover_ = nullptr;
+    o.status_ = AioStatus();
+  }
+  TransferHandle& operator=(TransferHandle&& o) noexcept {
+    if (this != &o) {
+      mover_ = o.mover_;
+      transfer_ = o.transfer_;
+      status_ = o.status_;
+      o.mover_ = nullptr;
+      o.status_ = AioStatus();
+    }
+    return *this;
+  }
+  TransferHandle(const TransferHandle&) = delete;
+  TransferHandle& operator=(const TransferHandle&) = delete;
+
+  /// Block until the transfer completes; rethrows the first I/O error
+  /// (RetriesExhaustedError after the engine's bounded retries). Records
+  /// the route's wait latency on first completion; safe to call again.
+  void wait();
+
+  bool done() const { return status_.done(); }
+  /// done() with no error recorded.
+  bool ok() const { return status_.ok(); }
+  /// errno of the first failed sub-request (0 = none). Never throws.
+  int error_code() const { return status_.error_code(); }
+
+  const Transfer& transfer() const noexcept { return transfer_; }
+  Route route() const noexcept { return transfer_.route; }
+  std::uint64_t bytes() const noexcept { return transfer_.bytes; }
+
+ private:
+  friend class DataMover;
+  TransferHandle(DataMover* mover, const Transfer& t, AioStatus status)
+      : mover_(mover), transfer_(t), status_(status) {}
+
+  DataMover* mover_ = nullptr;  ///< cleared once latency is recorded
+  Transfer transfer_{};
+  AioStatus status_{};
+};
+
+class DataMover {
+ public:
+  struct RouteStats {
+    std::uint64_t bytes = 0;      ///< payload bytes moved on this route
+    std::uint64_t transfers = 0;  ///< transfers issued (async + eager)
+    double seconds = 0.0;         ///< copy time (eager) + wait time (async)
+  };
+
+  struct Stats {
+    std::array<RouteStats, kNumRoutes> routes{};
+    std::uint64_t staged_pinned = 0;  ///< stage() served by a pinned lease
+    std::uint64_t staged_heap = 0;    ///< stage() fell back to heap
+    const RouteStats& route(Route r) const {
+      return routes[static_cast<std::size_t>(r)];
+    }
+    std::uint64_t total_bytes() const;
+    std::uint64_t total_transfers() const;
+    double total_seconds() const;
+  };
+
+  DataMover(NvmeStore& nvme, PinnedBufferPool& pinned);
+
+  DataMover(const DataMover&) = delete;
+  DataMover& operator=(const DataMover&) = delete;
+
+  /// Host staging for `bytes`: a pinned-pool lease when one fits and is
+  /// free (the `pinned_acquire` fault site lives inside the pool), heap
+  /// otherwise. Never fails; never blocks on the pool.
+  StagingLease stage(std::size_t bytes);
+
+  // --- NVMe routes (genuinely asynchronous) --------------------------------
+
+  /// extent[offset, offset+dst.size()) → dst. The destination must stay
+  /// alive until the returned handle completes.
+  TransferHandle fetch_nvme(const Extent& extent, std::span<std::byte> dst,
+                            std::uint64_t offset = 0);
+  /// src → extent[offset, ...).
+  TransferHandle spill_nvme(const Extent& extent,
+                            std::span<const std::byte> src,
+                            std::uint64_t offset = 0);
+
+  /// Eager variants: submit + wait without materializing a TransferHandle —
+  /// the synchronous hot path (state-store eager loads, checkpoint I/O).
+  void fetch_nvme_sync(const Extent& extent, std::span<std::byte> dst,
+                       std::uint64_t offset = 0);
+  void spill_nvme_sync(const Extent& extent, std::span<const std::byte> src,
+                       std::uint64_t offset = 0);
+
+  // --- memcpy routes (GPU arena / CPU heap ↔ host buffer) ------------------
+  // Complete inside the call; counted per route like everything else.
+
+  /// tier_src[0, dst.size()) → dst on route `r` (kGpuFetch / kCpuFetch).
+  void fetch_copy(Route r, std::span<std::byte> dst,
+                  const std::byte* tier_src);
+  /// src → tier_dst on route `r` (kGpuSpill / kCpuSpill).
+  void spill_copy(Route r, std::byte* tier_dst,
+                  std::span<const std::byte> src);
+
+  /// Snapshot of the cumulative per-route counters.
+  Stats stats() const;
+
+  NvmeStore& nvme() noexcept { return nvme_; }
+  PinnedBufferPool& pinned() noexcept { return pinned_; }
+
+ private:
+  friend class TransferHandle;
+  void note_issue(Route r, std::uint64_t bytes);
+  void note_seconds(Route r, std::uint64_t ns);
+
+  NvmeStore& nvme_;
+  PinnedBufferPool& pinned_;
+
+  struct AtomicRoute {
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> transfers{0};
+    std::atomic<std::uint64_t> wait_ns{0};
+  };
+  std::array<AtomicRoute, kNumRoutes> routes_{};
+  std::atomic<std::uint64_t> staged_pinned_{0};
+  std::atomic<std::uint64_t> staged_heap_{0};
+};
+
+}  // namespace zi

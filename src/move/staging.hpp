@@ -1,0 +1,65 @@
+// StagingLease — a host-side staging buffer for one transfer.
+//
+// The infinity offload engine stages NVMe traffic through pinned memory
+// when a pool buffer is free and large enough (Sec. 6.3), and falls back to
+// ordinary heap memory otherwise. Before this layer existed, that
+// pinned-or-heap decision was re-implemented by every mover (coordinator
+// prefetch slots, the NVMe activation offloader); DataMover::stage() is now
+// the single place it happens, and StagingLease the single type that keeps
+// the bytes alive while an async transfer is in flight. Destroying the
+// lease returns a pinned buffer to the pool — dropping a lease mid-error is
+// therefore always safe and leak-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mem/pinned_pool.hpp"
+
+namespace zi {
+
+class StagingLease {
+ public:
+  StagingLease() = default;
+  StagingLease(StagingLease&&) noexcept = default;
+  StagingLease& operator=(StagingLease&&) noexcept = default;
+  StagingLease(const StagingLease&) = delete;
+  StagingLease& operator=(const StagingLease&) = delete;
+
+  /// The staged window (exactly the byte count requested from stage()).
+  std::span<std::byte> bytes() noexcept {
+    return pinned_.valid() ? std::span<std::byte>(pinned_.data(), size_)
+                           : std::span<std::byte>(heap_.data(), size_);
+  }
+  std::span<const std::byte> bytes() const noexcept {
+    return pinned_.valid()
+               ? std::span<const std::byte>(pinned_.data(), size_)
+               : std::span<const std::byte>(heap_.data(), size_);
+  }
+
+  bool pinned() const noexcept { return pinned_.valid(); }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Return the backing storage early (pinned buffer back to its pool).
+  void release() {
+    pinned_.release();
+    heap_.clear();
+    heap_.shrink_to_fit();
+    size_ = 0;
+  }
+
+ private:
+  friend class DataMover;
+  StagingLease(PinnedLease lease, std::size_t size)
+      : pinned_(std::move(lease)), size_(size) {}
+  explicit StagingLease(std::size_t size) : heap_(size), size_(size) {}
+
+  PinnedLease pinned_;
+  std::vector<std::byte> heap_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace zi

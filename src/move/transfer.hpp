@@ -1,0 +1,69 @@
+// Transfer — the route vocabulary of the unified data-movement layer.
+//
+// Every byte the offload engine moves travels one of six routes between a
+// tier's storage and a host-side buffer (heap scratch or a pinned staging
+// lease): a *fetch* brings tier bytes up to the host buffer, a *spill*
+// pushes host bytes down to the tier. The paper's composite paths
+// (nvme→pinned→gpu, Sec. 6.2) decompose into these hops: the NVMe fetch
+// lands in a pinned lease, the GPU spill consumes it.
+//
+// Routes are the unit of accounting: DataMover keeps bytes / transfer /
+// wait-latency counters per route, and StepReport exports them per step.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/accountant.hpp"
+
+namespace zi {
+
+/// One hop between a tier's storage and a host buffer.
+enum class Route : int {
+  kGpuFetch = 0,   ///< GPU arena  → host buffer
+  kGpuSpill = 1,   ///< host buffer → GPU arena
+  kCpuFetch = 2,   ///< CPU tier   → host buffer
+  kCpuSpill = 3,   ///< host buffer → CPU tier
+  kNvmeFetch = 4,  ///< NVMe extent → host buffer (async via AioEngine)
+  kNvmeSpill = 5,  ///< host buffer → NVMe extent (async via AioEngine)
+};
+
+inline constexpr int kNumRoutes = 6;
+
+/// "gpu>host", "host>gpu", "cpu>host", "host>cpu", "nvme>host", "host>nvme".
+const char* route_name(Route r);
+
+/// The route that brings `tier` bytes up into a host buffer.
+constexpr Route fetch_route(Tier tier) {
+  switch (tier) {
+    case Tier::kGpu: return Route::kGpuFetch;
+    case Tier::kCpu: return Route::kCpuFetch;
+    case Tier::kNvme: return Route::kNvmeFetch;
+  }
+  return Route::kCpuFetch;
+}
+
+/// The route that pushes host-buffer bytes down onto `tier`.
+constexpr Route spill_route(Tier tier) {
+  switch (tier) {
+    case Tier::kGpu: return Route::kGpuSpill;
+    case Tier::kCpu: return Route::kCpuSpill;
+    case Tier::kNvme: return Route::kNvmeSpill;
+  }
+  return Route::kCpuSpill;
+}
+
+/// True for the asynchronous NVMe routes (real in-flight I/O); the memcpy
+/// routes complete inside the issuing call.
+constexpr bool route_is_async(Route r) {
+  return r == Route::kNvmeFetch || r == Route::kNvmeSpill;
+}
+
+/// Descriptor of one transfer: what moved where. Carried by TransferHandle
+/// and rendered into trace spans.
+struct Transfer {
+  Route route = Route::kCpuFetch;
+  std::uint64_t bytes = 0;
+  std::uint64_t offset = 0;  ///< byte offset within the tier-side object
+};
+
+}  // namespace zi

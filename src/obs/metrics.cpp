@@ -81,6 +81,16 @@ std::string StepReport::to_json_line() const {
   append_kv(out, "prefetch_drops", prefetch_drops);
   append_kv(out, "prefetch_hit_rate", prefetch_hit_rate);
   append_kv(out, "grads_reduced", grads_reduced);
+  append_kv(out, "move_gpu_fetch_bytes", move_gpu_fetch_bytes);
+  append_kv(out, "move_gpu_spill_bytes", move_gpu_spill_bytes);
+  append_kv(out, "move_cpu_fetch_bytes", move_cpu_fetch_bytes);
+  append_kv(out, "move_cpu_spill_bytes", move_cpu_spill_bytes);
+  append_kv(out, "move_nvme_fetch_bytes", move_nvme_fetch_bytes);
+  append_kv(out, "move_nvme_spill_bytes", move_nvme_spill_bytes);
+  append_kv(out, "move_transfers", move_transfers);
+  append_kv(out, "move_wait_seconds", move_wait_seconds);
+  append_kv(out, "staged_pinned", staged_pinned);
+  append_kv(out, "staged_heap", staged_heap);
   append_kv(out, "gpu_used", gpu_used);
   append_kv(out, "gpu_peak", gpu_peak);
   append_kv(out, "cpu_used", cpu_used);

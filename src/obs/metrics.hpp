@@ -64,6 +64,20 @@ struct StepReport {
   double prefetch_hit_rate = 0.0;  ///< hits/issued this step (0 when none)
   std::uint64_t grads_reduced = 0;
 
+  // DataMover per-route deltas (this rank): payload bytes moved on each of
+  // the six tier routes, plus transfer counts, wait/copy time, and how the
+  // staging decisions split between pinned leases and heap fallbacks.
+  std::uint64_t move_gpu_fetch_bytes = 0;   ///< gpu>host
+  std::uint64_t move_gpu_spill_bytes = 0;   ///< host>gpu
+  std::uint64_t move_cpu_fetch_bytes = 0;   ///< cpu>host
+  std::uint64_t move_cpu_spill_bytes = 0;   ///< host>cpu
+  std::uint64_t move_nvme_fetch_bytes = 0;  ///< nvme>host
+  std::uint64_t move_nvme_spill_bytes = 0;  ///< host>nvme
+  std::uint64_t move_transfers = 0;         ///< transfers issued, all routes
+  double move_wait_seconds = 0.0;  ///< eager copy + async wait time
+  std::uint64_t staged_pinned = 0;  ///< stage() served from the pinned pool
+  std::uint64_t staged_heap = 0;    ///< stage() fell back to heap
+
   // Memory accountant (this rank, absolute bytes).
   std::uint64_t gpu_used = 0;
   std::uint64_t gpu_peak = 0;

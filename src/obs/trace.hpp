@@ -20,6 +20,8 @@
 //   comm    allgather, reduce_scatter, broadcast, allreduce, gather,
 //           barrier                    (Communicator collectives)
 //   aio     read, write, retry         (AioEngine sub-requests)
+//   move    gpu>host, host>gpu, cpu>host, host>cpu, nvme>host, host>nvme
+//                                      (DataMover, one span per transfer)
 //   mem     arena_alloc, pinned_acquire
 //
 // This header is dependency-free (std only) so every layer — including

@@ -240,7 +240,7 @@ Tensor make_act(std::uint64_t seed) {
 }
 
 TEST_F(CoreTest, CpuActivationOffloaderRoundtrip) {
-  CpuActivationOffloader off(res_->accountant());
+  CpuActivationOffloader off(*res_);
   Tensor t = make_act(1);
   off.save(3, t);
   EXPECT_EQ(res_->accountant().used(Tier::kCpu), t.nbytes());
@@ -277,7 +277,7 @@ TEST_F(CoreTest, NvmeOffloaderOverwriteSlotReplacesContents) {
 }
 
 TEST_F(CoreTest, OffloaderLoadFromEmptySlotThrows) {
-  CpuActivationOffloader off(res_->accountant());
+  CpuActivationOffloader off(*res_);
   EXPECT_THROW(off.load(42), Error);
 }
 
