@@ -139,12 +139,12 @@ class AioEngine {
 
   /// Asynchronously read file[offset, offset+buf.size()) into buf. The
   /// buffer must stay alive until the status completes.
-  AioStatus submit_read(AioFile* file, std::uint64_t offset,
-                        std::span<std::byte> buf);
+  [[nodiscard]] AioStatus submit_read(AioFile* file, std::uint64_t offset,
+                                      std::span<std::byte> buf);
 
   /// Asynchronously write buf to file[offset, ...).
-  AioStatus submit_write(AioFile* file, std::uint64_t offset,
-                         std::span<const std::byte> buf);
+  [[nodiscard]] AioStatus submit_write(AioFile* file, std::uint64_t offset,
+                                       std::span<const std::byte> buf);
 
   /// Synchronous conveniences (submit + wait).
   void read(AioFile* file, std::uint64_t offset, std::span<std::byte> buf);

@@ -56,11 +56,13 @@ class NvmeStore {
 
   /// Async write of buf into the extent at byte `offset` within it
   /// (offset + buf.size() <= extent.size()).
-  AioStatus write_async(const Extent& extent, std::span<const std::byte> buf,
-                        std::uint64_t offset = 0);
+  [[nodiscard]] AioStatus write_async(const Extent& extent,
+                                      std::span<const std::byte> buf,
+                                      std::uint64_t offset = 0);
   /// Async read from byte `offset` within the extent into buf.
-  AioStatus read_async(const Extent& extent, std::span<std::byte> buf,
-                       std::uint64_t offset = 0) const;
+  [[nodiscard]] AioStatus read_async(const Extent& extent,
+                                     std::span<std::byte> buf,
+                                     std::uint64_t offset = 0) const;
 
   /// Synchronous conveniences.
   void write(const Extent& extent, std::span<const std::byte> buf,

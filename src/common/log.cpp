@@ -28,7 +28,10 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
-void log_emit(LogLevel level, const std::string& message) {
+// The capability guards stderr interleaving, not a member — ZI_EXCLUDES
+// documents that (and keeps the emit path re-entrancy-free under analysis).
+void log_emit(LogLevel level, const std::string& message)
+    ZI_EXCLUDES(g_emit_mutex) {
   LockGuard lock(g_emit_mutex);
   std::fprintf(stderr, "[zi %s] %s\n", level_name(level), message.c_str());
 }

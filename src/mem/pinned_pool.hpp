@@ -24,7 +24,7 @@ namespace zi {
 class PinnedBufferPool;
 
 /// RAII lease of one pinned buffer; returns it to the pool on destruction.
-class PinnedLease {
+class [[nodiscard]] PinnedLease {
  public:
   PinnedLease() = default;
   PinnedLease(PinnedLease&& o) noexcept;
@@ -69,16 +69,16 @@ class PinnedBufferPool {
   PinnedBufferPool& operator=(const PinnedBufferPool&) = delete;
 
   /// Acquire a buffer, blocking until one is free.
-  PinnedLease acquire() ZI_EXCLUDES(mutex_);
+  [[nodiscard]] PinnedLease acquire() ZI_EXCLUDES(mutex_);
 
   /// Acquire without blocking; nullopt if all buffers are leased.
-  std::optional<PinnedLease> try_acquire() ZI_EXCLUDES(mutex_);
+  [[nodiscard]] std::optional<PinnedLease> try_acquire() ZI_EXCLUDES(mutex_);
 
   /// Acquire a buffer able to hold `bytes` without blocking: nullopt when
   /// `bytes` exceeds the pool's buffer size (without touching the pool or
   /// its fault site) or when every buffer is leased. The single decision
   /// point behind DataMover::stage()'s pinned-or-heap staging choice.
-  std::optional<PinnedLease> try_acquire_for(std::size_t bytes)
+  [[nodiscard]] std::optional<PinnedLease> try_acquire_for(std::size_t bytes)
       ZI_EXCLUDES(mutex_);
 
   std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }

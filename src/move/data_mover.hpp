@@ -43,7 +43,7 @@ class DataMover;
 /// abandon an in-flight transfer keep the staging buffer alive and wait (or
 /// swallow) through their own quiescence path, exactly like the
 /// coordinator's take_prefetch/drop_prefetches pair.
-class TransferHandle {
+class [[nodiscard]] TransferHandle {
  public:
   TransferHandle() = default;
   TransferHandle(TransferHandle&& o) noexcept
@@ -117,18 +117,19 @@ class DataMover {
   /// Host staging for `bytes`: a pinned-pool lease when one fits and is
   /// free (the `pinned_acquire` fault site lives inside the pool), heap
   /// otherwise. Never fails; never blocks on the pool.
-  StagingLease stage(std::size_t bytes);
+  [[nodiscard]] StagingLease stage(std::size_t bytes);
 
   // --- NVMe routes (genuinely asynchronous) --------------------------------
 
   /// extent[offset, offset+dst.size()) → dst. The destination must stay
   /// alive until the returned handle completes.
-  TransferHandle fetch_nvme(const Extent& extent, std::span<std::byte> dst,
-                            std::uint64_t offset = 0);
+  [[nodiscard]] TransferHandle fetch_nvme(const Extent& extent,
+                                          std::span<std::byte> dst,
+                                          std::uint64_t offset = 0);
   /// src → extent[offset, ...).
-  TransferHandle spill_nvme(const Extent& extent,
-                            std::span<const std::byte> src,
-                            std::uint64_t offset = 0);
+  [[nodiscard]] TransferHandle spill_nvme(const Extent& extent,
+                                          std::span<const std::byte> src,
+                                          std::uint64_t offset = 0);
 
   /// Eager variants: submit + wait without materializing a TransferHandle —
   /// the synchronous hot path (state-store eager loads, checkpoint I/O).

@@ -20,7 +20,7 @@
 
 namespace zi {
 
-class StagingLease {
+class [[nodiscard]] StagingLease {
  public:
   StagingLease() = default;
   StagingLease(StagingLease&&) noexcept = default;

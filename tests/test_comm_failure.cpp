@@ -372,6 +372,7 @@ TEST_F(CommFailureTest, CollectiveDelayInjectsLatencyWithoutFailure) {
 
 TEST_F(CommFailureTest, TypoedSiteNameSuggestsTheRealOne) {
   try {
+    // zilint:allow(fault-site-sync): the typo is the point of this test
     FaultInjector::instance().configure("aio_raed:error,p=0.1");
     FAIL() << "expected the typo to be rejected";
   } catch (const Error& e) {

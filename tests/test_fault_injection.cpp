@@ -83,6 +83,7 @@ TEST_F(FaultInjectionTest, SpecParsingRoundTrips) {
 
 TEST_F(FaultInjectionTest, MalformedSpecsThrow) {
   auto& inj = FaultInjector::instance();
+  // zilint:allow(fault-site-sync): deliberately-unknown site must throw
   EXPECT_THROW(inj.configure("bogus_site:error,p=0.1"), Error);
   EXPECT_THROW(inj.configure("aio_read:explode"), Error);
   EXPECT_THROW(inj.configure("aio_read:error,p=nope"), Error);

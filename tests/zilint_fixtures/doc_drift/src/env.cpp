@@ -1,0 +1,14 @@
+// Fixture: one documented read (clean), one undocumented read (finding),
+// one undocumented read under an allow (suppressed).
+#include <cstdlib>
+
+namespace fixture {
+
+void read_env() {
+  (void)std::getenv("ZI_GOOD");
+  (void)std::getenv("ZI_UNDOCUMENTED");  // finding: no README row
+  // zilint:allow(doc-drift): fixture exercises the suppression path
+  (void)std::getenv("ZI_SUPPRESSED");
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture StepReport emitter: one documented field, one undocumented.
+#include <string>
+
+namespace fixture {
+
+void append_kv(std::string& out, const char* key, double v);
+
+void to_json_line(std::string& out) {
+  append_kv(out, "step", 1.0);
+  append_kv(out, "bogus_field", 2.0);  // finding: no DESIGN.md row
+}
+
+}  // namespace fixture

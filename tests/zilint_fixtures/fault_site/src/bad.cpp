@@ -1,0 +1,6 @@
+// Fixture: a spec naming an unregistered site must fire fault-site-sync.
+namespace fixture {
+
+const char* kTypoSpec = "gamma:error,p=0.1";  // finding: unknown site
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: an unknown site under an allow (negative-testing idiom).
+namespace fixture {
+
+// zilint:allow(fault-site-sync): deliberately-bogus site for an error test
+const char* kBogusSpec = "delta:error,p=0.1";
+
+}  // namespace fixture

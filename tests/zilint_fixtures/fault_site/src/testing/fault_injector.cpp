@@ -1,0 +1,13 @@
+// Fixture registry source: the site-name table the rule parses.
+#include "testing/fault_injector.hpp"
+
+#include <array>
+
+namespace fixture {
+
+constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
+    "alpha",
+    "beta",
+};
+
+}  // namespace fixture

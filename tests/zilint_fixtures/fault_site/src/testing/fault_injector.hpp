@@ -1,0 +1,12 @@
+// Fixture registry header: two sites, count in sync.
+#pragma once
+
+namespace fixture {
+
+enum class FaultSite : int {
+  kAlpha = 0,
+  kBeta,
+};
+inline constexpr int kNumFaultSites = 2;
+
+}  // namespace fixture

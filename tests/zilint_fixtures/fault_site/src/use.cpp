@@ -1,0 +1,14 @@
+// Fixture: clean call sites — both enum entries wired, specs name
+// registered sites only.
+#include "testing/fault_injector.hpp"
+
+namespace fixture {
+
+void wire() {
+  (void)FaultSite::kAlpha;
+  (void)FaultSite::kBeta;
+}
+
+const char* kGoodSpec = "seed=7;alpha:error,p=0.5;beta:delay,p=1";
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: transfer-issuing calls whose result is dropped on the floor.
+#include "move/data_mover.hpp"
+
+namespace fixture {
+
+void leak(zi::DataMover& mover, const zi::Extent& extent,
+          std::span<std::byte> dst) {
+  mover.fetch_nvme(extent, dst);  // finding: TransferHandle discarded
+  mover.stage(dst.size());        // finding: StagingLease discarded
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: every shape that legitimately binds or consumes the result —
+// none of these may fire.
+#include "move/data_mover.hpp"
+
+namespace fixture {
+
+zi::TransferHandle forward(zi::DataMover& mover, const zi::Extent& extent,
+                           std::span<std::byte> dst) {
+  auto handle = mover.fetch_nvme(extent, dst);  // bound
+  handle.wait();
+  mover.spill_nvme(extent, dst).wait();         // chained: consumed in place
+  zi::StagingLease lease = mover.stage(dst.size());
+  return mover.fetch_nvme(extent, lease.bytes());  // returned
+}
+
+// A declaration that happens to reuse an issuing name is not a call chain.
+zi::TransferHandle fetch_nvme(int token);
+
+}  // namespace fixture

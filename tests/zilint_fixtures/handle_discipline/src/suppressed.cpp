@@ -1,0 +1,12 @@
+// Fixture: a justified discard under an allow.
+#include "move/data_mover.hpp"
+
+namespace fixture {
+
+void fire_and_forget(zi::DataMover& mover, const zi::Extent& extent,
+                     std::span<const std::byte> src) {
+  // zilint:allow(handle-discipline): fixture exercises the suppression path
+  mover.spill_nvme(extent, src);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: raw-primitive must fire on a std primitive outside the shim layer.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_raw;  // finding: raw std::mutex
+
+void touch() {
+  std::lock_guard<std::mutex> lock(g_raw);  // finding: raw std::lock_guard
+}
+
+}  // namespace fixture

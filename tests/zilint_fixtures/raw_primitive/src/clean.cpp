@@ -1,0 +1,13 @@
+// Fixture: the zi:: shims never trip raw-primitive, and mentions of
+// std::mutex inside comments or string literals are invisible to the rule.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+const char* kDoc = "prefer zi::Mutex over std::mutex";  // string, not code
+
+void touch() {
+  // std::lock_guard would be wrong here; zi::LockGuard is the shim.
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: a per-line allow silences raw-primitive on that line only.
+#include <mutex>
+
+namespace fixture {
+
+// zilint:allow(raw-primitive): fixture exercises the suppression path
+std::mutex g_suppressed;
+
+}  // namespace fixture

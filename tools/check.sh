@@ -4,6 +4,7 @@
 # Usage:
 #   tools/check.sh                 # run everything available on this machine
 #   tools/check.sh format          # clang-format check (no rewrite)
+#   tools/check.sh zilint          # project-specific lints (tools/zilint)
 #   tools/check.sh tidy            # clang-tidy over src/ (needs clang-tidy)
 #   tools/check.sh build           # plain build + full ctest, ZI_WERROR=ON
 #   tools/check.sh tsan            # ZI_SANITIZE=thread build + concurrency tests
@@ -28,7 +29,11 @@ skip()  { printf '==> SKIP: %s\n' "$*"; }
 have() { command -v "$1" >/dev/null 2>&1; }
 
 sources() {
-  find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort
+  # zilint_fixtures hold deliberately-violating code; they are zilint's test
+  # data, not part of the style surface.
+  find src tests bench examples \
+    \( -path 'tests/zilint_fixtures' -prune \) -o \
+    \( -name '*.cpp' -o -name '*.hpp' \) -print | sort
 }
 
 run_format() {
@@ -60,6 +65,15 @@ run_tidy() {
   fi
 }
 
+run_zilint() {
+  note "zilint (project-specific static analysis)"
+  local build="build-check-zilint"
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$JOBS" --target zilint >/dev/null
+  # Findings print as file:line: rule: message.
+  "$build/tools/zilint/zilint" --root "$ROOT" || FAILED=1
+}
+
 # $1: mode name, $2: ZI_SANITIZE value ('' = off), $3: ctest label ('' = all)
 run_build() {
   local mode="$1" sanitize="$2" label="$3"
@@ -72,13 +86,14 @@ run_build() {
     || FAILED=1
 }
 
-ALL=(format tidy build tsan asan ubsan)
+ALL=(format zilint tidy build tsan asan ubsan)
 STEPS=("${@:-}")
 [ -z "${STEPS[0]:-}" ] && STEPS=("${ALL[@]}")
 
 for step in "${STEPS[@]}"; do
   case "$step" in
     format) run_format ;;
+    zilint) run_zilint ;;
     tidy)   run_tidy ;;
     build)  run_build plain "" "" ;;
     # TSan: the concurrency-labeled subset (comm / aio / thread pool /

@@ -1,0 +1,66 @@
+// zilint CLI. Exit 0 on a clean tree, 1 when findings exist, 2 on usage
+// errors — so CI and check.sh can gate on it directly.
+#include <cstdio>
+#include <string>
+
+#include "zilint.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: zilint [--root <dir>] [--json] [--list-rules]\n"
+      "\n"
+      "Project-specific static analysis: scans <dir>/src (plus tests, bench,\n"
+      "examples for string-level rules and README.md / DESIGN.md for drift\n"
+      "rules) and prints findings as `file:line: rule: message`.\n"
+      "\n"
+      "  --root <dir>   project root to analyze (default: .)\n"
+      "  --json         emit findings as a JSON array instead of text\n"
+      "  --list-rules   print rule names and descriptions, then exit\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zilint::Options options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& name : zilint::rule_names()) {
+        std::printf("%-18s %s\n", name.c_str(),
+                    zilint::rule_descriptions().at(name).c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "zilint: unknown argument '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const auto findings = zilint::run_project(options);
+  if (json) {
+    std::printf("%s\n", zilint::findings_to_json(findings).c_str());
+  } else {
+    for (const auto& f : findings) {
+      std::printf("%s\n", zilint::format_finding(f).c_str());
+    }
+    if (findings.empty()) {
+      std::fprintf(stderr, "zilint: clean (%zu rules)\n",
+                   zilint::rule_names().size());
+    } else {
+      std::fprintf(stderr, "zilint: %zu finding(s)\n", findings.size());
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
