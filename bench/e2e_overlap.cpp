@@ -1,12 +1,17 @@
 // Overlap-centric design ablation on the REAL engine (Sec. 6.2): the same
-// ZeRO-3 + NVMe training run with overlap_transfers on vs off.
+// ZeRO-3 + NVMe training run with overlap_transfers on vs off, plus a
+// third variant with overlap on but the transfer scheduler's coalescing
+// disabled (ZI_MOVE_COALESCE=0), isolating what request merging buys on
+// top of overlap.
 //
 // With overlap on, the DataMover pipelines are active end to end — the
 // coordinator prefetches parameter shards ahead of the compute trace and
 // the chunked optimizer double-buffers its NVMe state reads/write-backs.
 // With overlap off the identical byte traffic runs sequentially
 // (load → compute → store), so the wall-clock delta is purely the hidden
-// I/O latency; loss trajectories must be bit-identical either way.
+// I/O latency; loss trajectories must be bit-identical across all
+// variants — scheduling and coalescing change how bytes travel, never
+// which bytes.
 //
 // ZI_BENCH_JSON=<path> writes machine-readable results (BENCH_overlap.json
 // in CI) including the per-route DataMover counters.
@@ -36,9 +41,13 @@ struct Outcome {
   std::uint64_t move_transfers = 0;
   std::uint64_t route_bytes[kNumRoutes] = {};
   std::uint64_t staged_pinned = 0, staged_heap = 0;
+  std::uint64_t sched_backend_ops = 0, coalesced_transfers = 0;
 };
 
-Outcome run(bool overlap, const std::filesystem::path& dir) {
+Outcome run(bool overlap, bool coalesce,
+            const std::filesystem::path& dir) {
+  // DataMover reads ZI_MOVE_* when each rank constructs its resources.
+  ::setenv("ZI_MOVE_COALESCE", coalesce ? "1" : "0", 1);
   GptConfig mc;
   mc.vocab = 64;
   mc.seq = 16;
@@ -85,6 +94,8 @@ Outcome run(bool overlap, const std::filesystem::path& dir) {
       out.move_wait_seconds = mv.total_seconds();
       out.staged_pinned = mv.staged_pinned;
       out.staged_heap = mv.staged_heap;
+      out.sched_backend_ops = mv.sched.backend_ops;
+      out.coalesced_transfers = mv.sched.coalesced_transfers;
       if (engine.coordinator() != nullptr) {
         out.prefetch_hits = engine.coordinator()->stats().prefetch_hits;
       }
@@ -94,15 +105,17 @@ Outcome run(bool overlap, const std::filesystem::path& dir) {
 }
 
 void write_bench_json(const char* path, const Outcome& on,
-                      const Outcome& off) {
+                      const Outcome& off, const Outcome& nc) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::cerr << "[zi] ZI_BENCH_JSON: cannot open " << path << "\n";
     return;
   }
-  auto emit = [&](const char* name, const Outcome& o, bool overlap) {
+  auto emit = [&](const char* name, const Outcome& o, bool overlap,
+                  bool coalesce) {
     out << "{\"name\":\"" << name << "\""
         << ",\"overlap_transfers\":" << (overlap ? "true" : "false")
+        << ",\"coalesce\":" << (coalesce ? "true" : "false")
         << ",\"ms_per_step\":" << o.ms_per_step
         << ",\"first_loss\":" << o.first_loss
         << ",\"last_loss\":" << o.last_loss
@@ -110,7 +123,9 @@ void write_bench_json(const char* path, const Outcome& on,
         << ",\"move_transfers\":" << o.move_transfers
         << ",\"move_wait_seconds\":" << o.move_wait_seconds
         << ",\"staged_pinned\":" << o.staged_pinned
-        << ",\"staged_heap\":" << o.staged_heap;
+        << ",\"staged_heap\":" << o.staged_heap
+        << ",\"sched_backend_ops\":" << o.sched_backend_ops
+        << ",\"coalesced_transfers\":" << o.coalesced_transfers;
     for (int r = 0; r < kNumRoutes; ++r) {
       out << ",\"bytes_" << route_name(static_cast<Route>(r)) << "\":"
           << o.route_bytes[r];
@@ -118,13 +133,22 @@ void write_bench_json(const char* path, const Outcome& on,
     out << "}";
   };
   out << "{\"bench\":\"e2e_overlap\",\"runs\":[";
-  emit("overlap_on", on, true);
+  emit("overlap_on", on, true, true);
   out << ",";
-  emit("overlap_off", off, false);
+  emit("overlap_on_no_coalesce", nc, true, false);
+  out << ",";
+  emit("overlap_off", off, false, true);
   out << "],\"speedup\":"
       << (on.ms_per_step > 0 ? off.ms_per_step / on.ms_per_step : 0.0)
+      << ",\"coalesce_request_ratio\":"
+      << (on.sched_backend_ops > 0
+              ? static_cast<double>(nc.sched_backend_ops) /
+                    static_cast<double>(on.sched_backend_ops)
+              : 0.0)
       << ",\"bit_identical\":"
-      << (on.first_loss == off.first_loss && on.last_loss == off.last_loss
+      << (on.first_loss == off.first_loss && on.last_loss == off.last_loss &&
+                  on.first_loss == nc.first_loss &&
+                  on.last_loss == nc.last_loss
               ? "true"
               : "false")
       << "}\n";
@@ -137,14 +161,16 @@ int main() {
                    ("zi_overlap_bench_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   print_banner(std::cout,
-               "ZeRO-3 + NVMe with overlap_transfers on vs off "
+               "ZeRO-3 + NVMe: overlap on vs off, coalescing on vs off "
                "(tiny GPT, 4 ranks, 12 steps)");
 
-  const Outcome off = run(false, dir / "off");
-  const Outcome on = run(true, dir / "on");
+  const Outcome off = run(false, true, dir / "off");
+  const Outcome nc = run(true, false, dir / "nc");
+  const Outcome on = run(true, true, dir / "on");
+  ::unsetenv("ZI_MOVE_COALESCE");
 
   Table t({"mode", "loss step1", "loss step12", "ms/step", "prefetch hits",
-           "nvme>host", "host>nvme", "move wait s"});
+           "nvme>host", "host>nvme", "aio reqs", "move wait s"});
   auto row = [&](const char* name, const Outcome& o) {
     t.add_row({name, Table::num(o.first_loss, 6), Table::num(o.last_loss, 6),
                Table::num(o.ms_per_step, 1), std::to_string(o.prefetch_hits),
@@ -152,18 +178,21 @@ int main() {
                    o.route_bytes[static_cast<int>(Route::kNvmeFetch)]),
                format_bytes(
                    o.route_bytes[static_cast<int>(Route::kNvmeSpill)]),
+               std::to_string(o.sched_backend_ops),
                Table::num(o.move_wait_seconds, 3)});
   };
   row("overlap on", on);
+  row("overlap on, no coalesce", nc);
   row("overlap off", off);
   t.print(std::cout);
 
   if (const char* json_path = std::getenv("ZI_BENCH_JSON")) {
-    if (json_path[0] != '\0') write_bench_json(json_path, on, off);
+    if (json_path[0] != '\0') write_bench_json(json_path, on, off, nc);
   }
 
   const bool bit_identical =
-      on.first_loss == off.first_loss && on.last_loss == off.last_loss;
+      on.first_loss == off.first_loss && on.last_loss == off.last_loss &&
+      on.first_loss == nc.first_loss && on.last_loss == nc.last_loss;
   std::cout << "\nLoss trajectories " << (bit_identical ? "ARE" : "ARE NOT")
             << " bit-identical; overlap hides "
             << (off.ms_per_step - on.ms_per_step)

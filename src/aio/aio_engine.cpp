@@ -23,7 +23,8 @@ namespace zi {
 struct AioStatus::State {
   /// `n` sub-requests outstanding; safe unguarded in the constructor — the
   /// state is published to workers only via ThreadPool::enqueue afterwards.
-  explicit State(std::size_t n) : pending(n) {}
+  explicit State(std::size_t n, std::function<void()> cb = {})
+      : pending(n), on_complete(std::move(cb)) {}
 
   Mutex mutex{"AioStatus::State::mutex"};
   CondVar cv;
@@ -31,19 +32,50 @@ struct AioStatus::State {
   std::exception_ptr error ZI_GUARDED_BY(mutex);
   int error_code ZI_GUARDED_BY(mutex) = 0;        ///< first failure's errno
   std::uint64_t bytes_ok ZI_GUARDED_BY(mutex) = 0;
+  /// Invoked once, after the last sub-request completes, outside the lock.
+  std::function<void()> on_complete ZI_GUARDED_BY(mutex);
 
   void complete_one(std::exception_ptr err, int err_code,
                     std::uint64_t bytes) ZI_EXCLUDES(mutex) {
-    LockGuard lock(mutex);
-    if (err && !error) {
-      error = err;
-      error_code = err_code;
+    std::function<void()> cb;
+    {
+      LockGuard lock(mutex);
+      if (err && !error) {
+        error = err;
+        error_code = err_code;
+      }
+      bytes_ok += bytes;
+      ZI_CHECK(pending > 0);
+      if (--pending == 0) {
+        // Move the callback out before notifying: it runs outside the lock
+        // (it may re-enter the scheduler), and exactly once.
+        cb = std::move(on_complete);
+        on_complete = nullptr;
+        cv.notify_all();
+      }
     }
-    bytes_ok += bytes;
-    ZI_CHECK(pending > 0);
-    if (--pending == 0) cv.notify_all();
+    if (cb) cb();
   }
 };
+
+AioStatus::Source AioStatus::make_source() {
+  Source s;
+  s.state_ = std::make_shared<State>(1);
+  return s;
+}
+
+void AioStatus::Source::set_on_complete(std::function<void()> cb) {
+  ZI_CHECK(state_ != nullptr);
+  LockGuard lock(state_->mutex);
+  ZI_CHECK(state_->pending > 0);  // not yet completed
+  state_->on_complete = std::move(cb);
+}
+
+void AioStatus::Source::complete(std::exception_ptr error, int error_code,
+                                 std::uint64_t bytes) {
+  ZI_CHECK(state_ != nullptr);
+  state_->complete_one(error, error_code, bytes);
+}
 
 void AioStatus::wait() const {
   if (!state_) return;  // default-constructed: trivially complete
@@ -140,15 +172,18 @@ AioFile* AioEngine::open(const std::filesystem::path& path) {
 }
 
 AioStatus AioEngine::submit_read(AioFile* file, std::uint64_t offset,
-                                 std::span<std::byte> buf) {
-  return submit(file, offset, buf.data(), buf.size(), OpKind::kRead);
+                                 std::span<std::byte> buf,
+                                 std::function<void()> on_complete) {
+  return submit(file, offset, buf.data(), buf.size(), OpKind::kRead,
+                std::move(on_complete));
 }
 
 AioStatus AioEngine::submit_write(AioFile* file, std::uint64_t offset,
-                                  std::span<const std::byte> buf) {
+                                  std::span<const std::byte> buf,
+                                  std::function<void()> on_complete) {
   // Writes never modify the buffer; const_cast confined to this boundary.
   return submit(file, offset, const_cast<std::byte*>(buf.data()), buf.size(),
-                OpKind::kWrite);
+                OpKind::kWrite, std::move(on_complete));
 }
 
 void AioEngine::read(AioFile* file, std::uint64_t offset,
@@ -162,13 +197,20 @@ void AioEngine::write(AioFile* file, std::uint64_t offset,
 }
 
 AioStatus AioEngine::submit(AioFile* file, std::uint64_t offset,
-                            std::byte* buf, std::size_t len, OpKind kind) {
+                            std::byte* buf, std::size_t len, OpKind kind,
+                            std::function<void()> on_complete) {
   ZI_CHECK(file != nullptr);
-  if (len == 0) return AioStatus(std::make_shared<AioStatus::State>(0));
+  if (len == 0) {
+    // Nothing to schedule: the status is born complete, so the callback
+    // runs inline (documented at submit_read).
+    if (on_complete) on_complete();
+    return AioStatus(std::make_shared<AioStatus::State>(0));
+  }
 
   const std::size_t num_blocks =
       (len + config_.block_bytes - 1) / config_.block_bytes;
-  auto state = std::make_shared<AioStatus::State>(num_blocks);
+  auto state = std::make_shared<AioStatus::State>(num_blocks,
+                                                  std::move(on_complete));
   {
     LockGuard lock(stats_mutex_);
     ++stats_.requests;

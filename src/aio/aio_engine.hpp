@@ -24,7 +24,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -78,11 +80,39 @@ class AioStatus {
   /// request size exactly when a sub-request failed mid-range.
   std::uint64_t bytes_transferred() const;
 
+  class Source;
+  /// A manually-completable single-slot status, for test backends that
+  /// stand in for the engine: the Source's status() stays pending until
+  /// complete() is called. Production statuses come from submit_*().
+  static Source make_source();
+
  private:
   friend class AioEngine;
+  friend class Source;
   struct State;
   explicit AioStatus(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
+};
+
+/// Completion side of a manufactured AioStatus (see make_source()). Tests
+/// hold the Source, hand status() to the code under test, and decide when —
+/// and with what outcome — the "I/O" finishes.
+class AioStatus::Source {
+ public:
+  Source() = default;
+  /// The waitable view of this source (sharable, like any AioStatus).
+  AioStatus status() const { return AioStatus(state_); }
+  /// Callback invoked (once, on the completing thread) by complete().
+  void set_on_complete(std::function<void()> cb);
+  /// Complete the status: records the error (if any) and `bytes` as the
+  /// transferred count, wakes waiters, then runs the on_complete callback.
+  /// Must be called exactly once.
+  void complete(std::exception_ptr error = nullptr, int error_code = 0,
+                std::uint64_t bytes = 0);
+
+ private:
+  friend class AioStatus;
+  std::shared_ptr<AioStatus::State> state_;
 };
 
 /// An open file managed by the engine. Obtained from AioEngine::open();
@@ -138,13 +168,18 @@ class AioEngine {
   AioFile* open(const std::filesystem::path& path);
 
   /// Asynchronously read file[offset, offset+buf.size()) into buf. The
-  /// buffer must stay alive until the status completes.
+  /// buffer must stay alive until the status completes. `on_complete`, when
+  /// given, runs exactly once on the worker that finishes the last
+  /// sub-request (inline before return for zero-length requests) — it must
+  /// not block on the returned status.
   [[nodiscard]] AioStatus submit_read(AioFile* file, std::uint64_t offset,
-                                      std::span<std::byte> buf);
+                                      std::span<std::byte> buf,
+                                      std::function<void()> on_complete = {});
 
   /// Asynchronously write buf to file[offset, ...).
   [[nodiscard]] AioStatus submit_write(AioFile* file, std::uint64_t offset,
-                                       std::span<const std::byte> buf);
+                                       std::span<const std::byte> buf,
+                                       std::function<void()> on_complete = {});
 
   /// Synchronous conveniences (submit + wait).
   void read(AioFile* file, std::uint64_t offset, std::span<std::byte> buf);
@@ -161,7 +196,8 @@ class AioEngine {
  private:
   enum class OpKind { kRead, kWrite };
   AioStatus submit(AioFile* file, std::uint64_t offset, std::byte* buf,
-                   std::size_t len, OpKind kind);
+                   std::size_t len, OpKind kind,
+                   std::function<void()> on_complete);
   void run_sub_request(AioFile* file, std::uint64_t offset, std::byte* buf,
                        std::size_t len, OpKind kind,
                        const std::shared_ptr<AioStatus::State>& state);

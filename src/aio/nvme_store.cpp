@@ -44,6 +44,24 @@ AioStatus NvmeStore::read_async(const Extent& extent, std::span<std::byte> buf,
   return engine_.submit_read(file_, extent.offset() + offset, buf);
 }
 
+AioStatus NvmeStore::write_abs_async(std::uint64_t offset,
+                                     std::span<const std::byte> buf,
+                                     std::function<void()> on_complete) {
+  ZI_CHECK_MSG(offset + buf.size() <= capacity(),
+               "abs write of " << buf.size() << " bytes at offset " << offset
+                               << " exceeds store capacity " << capacity());
+  return engine_.submit_write(file_, offset, buf, std::move(on_complete));
+}
+
+AioStatus NvmeStore::read_abs_async(std::uint64_t offset,
+                                    std::span<std::byte> buf,
+                                    std::function<void()> on_complete) const {
+  ZI_CHECK_MSG(offset + buf.size() <= capacity(),
+               "abs read of " << buf.size() << " bytes at offset " << offset
+                              << " exceeds store capacity " << capacity());
+  return engine_.submit_read(file_, offset, buf, std::move(on_complete));
+}
+
 void NvmeStore::write(const Extent& extent, std::span<const std::byte> buf,
                       std::uint64_t offset) {
   write_async(extent, buf, offset).wait();

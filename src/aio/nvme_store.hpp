@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -63,6 +64,17 @@ class NvmeStore {
   [[nodiscard]] AioStatus read_async(const Extent& extent,
                                      std::span<std::byte> buf,
                                      std::uint64_t offset = 0) const;
+
+  /// Absolute-offset async I/O, for the transfer scheduler: a coalesced
+  /// request covers several adjacent extents' ranges, so it addresses the
+  /// backing file directly rather than through one Extent. `on_complete`,
+  /// when given, runs exactly once after the last sub-request finishes.
+  [[nodiscard]] AioStatus write_abs_async(
+      std::uint64_t offset, std::span<const std::byte> buf,
+      std::function<void()> on_complete = {});
+  [[nodiscard]] AioStatus read_abs_async(
+      std::uint64_t offset, std::span<std::byte> buf,
+      std::function<void()> on_complete = {}) const;
 
   /// Synchronous conveniences.
   void write(const Extent& extent, std::span<const std::byte> buf,

@@ -289,9 +289,14 @@ void ParamCoordinator::issue_prefetches() {
     PrefetchSlot slot;
     slot.staging = res_.mover().stage(elems * sizeof(half));
     slot.view = {reinterpret_cast<half*>(slot.staging.bytes().data()), elems};
-    slot.handle = store_.broadcast_mode()
-                      ? store_.load_param_full_async(p, slot.view)
-                      : store_.load_param_shard_async(p, slot.view);
+    // Speculative traffic: a prefetch nobody is blocked on yet rides the
+    // bulk class, so a concurrent miss-path load (kLatency) overtakes it
+    // in the transfer scheduler.
+    slot.handle =
+        store_.broadcast_mode()
+            ? store_.load_param_full_async(p, slot.view, TransferClass::kBulk)
+            : store_.load_param_shard_async(p, slot.view,
+                                            TransferClass::kBulk);
     ZI_TRACE_INSTANT("coord", "prefetch:" + p->name(),
                      "\"bytes\":" + std::to_string(elems * sizeof(half)));
     if (observer_) {

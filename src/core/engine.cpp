@@ -289,6 +289,27 @@ void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
   r.staged_pinned = delta(mv.staged_pinned, metrics_base_.staged_pinned);
   r.staged_heap = delta(mv.staged_heap, metrics_base_.staged_heap);
 
+  const std::uint64_t sched_scheduled =
+      delta(mv.sched.scheduled, metrics_base_.sched_scheduled);
+  r.coalesced_transfers =
+      delta(mv.sched.coalesced_transfers, metrics_base_.coalesced_transfers);
+  r.coalesce_ratio =
+      sched_scheduled > 0 ? static_cast<double>(r.coalesced_transfers) /
+                                static_cast<double>(sched_scheduled)
+                          : 0.0;
+  r.sched_preemptions =
+      delta(mv.sched.preemptions, metrics_base_.sched_preemptions);
+  r.sched_latency_wait_seconds =
+      static_cast<double>(delta(
+          mv.sched.queue_ns[static_cast<std::size_t>(TransferClass::kLatency)],
+          metrics_base_.sched_queue_ns[0])) *
+      1e-9;
+  r.sched_bulk_wait_seconds =
+      static_cast<double>(delta(
+          mv.sched.queue_ns[static_cast<std::size_t>(TransferClass::kBulk)],
+          metrics_base_.sched_queue_ns[1])) *
+      1e-9;
+
   const MemoryAccountant& acct = res_.accountant();
   r.gpu_used = acct.used(Tier::kGpu);
   r.gpu_peak = acct.peak(Tier::kGpu);

@@ -146,12 +146,16 @@ void OptimizerDriver::step_chunked_nvme(Parameter* p, std::int64_t step_num,
         const std::uint64_t byte_off =
             static_cast<std::uint64_t>(lo) * sizeof(float);
         const auto un = static_cast<std::size_t>(n);
+        // The pipeline blocks on these at the next wait_load tick: latency
+        // class, so they overtake the previous chunk's bulk write-backs.
         b.load_m = store_.master(p).load_async(
-            bytes_of({b.master.data(), un}), byte_off);
+            bytes_of({b.master.data(), un}), byte_off, TransferClass::kLatency);
         b.load_mom = store_.momentum(p).load_async(
-            bytes_of({b.momentum.data(), un}), byte_off);
+            bytes_of({b.momentum.data(), un}), byte_off,
+            TransferClass::kLatency);
         b.load_var = store_.variance(p).load_async(
-            bytes_of({b.variance.data(), un}), byte_off);
+            bytes_of({b.variance.data(), un}), byte_off,
+            TransferClass::kLatency);
       },
       /*wait_load=*/
       [](ChunkBuf& b) {
@@ -177,12 +181,14 @@ void OptimizerDriver::step_chunked_nvme(Parameter* p, std::int64_t step_num,
 
         const std::uint64_t byte_off =
             static_cast<std::uint64_t>(lo) * sizeof(float);
+        // Write-backs drain in the background: bulk class (the starvation
+        // bound guarantees they still complete under fetch pressure).
         b.store_m = store_.master(p).store_async(
-            cbytes_of({b.master.data(), n}), byte_off);
+            cbytes_of({b.master.data(), n}), byte_off, TransferClass::kBulk);
         b.store_mom = store_.momentum(p).store_async(
-            cbytes_of({b.momentum.data(), n}), byte_off);
+            cbytes_of({b.momentum.data(), n}), byte_off, TransferClass::kBulk);
         b.store_var = store_.variance(p).store_async(
-            cbytes_of({b.variance.data(), n}), byte_off);
+            cbytes_of({b.variance.data(), n}), byte_off, TransferClass::kBulk);
         if (write_param_shards) {
           b.store_p = store_.store_param_shard_async(
               p, std::span<const half>(b.updated16.data(), n), lo);

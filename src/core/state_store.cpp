@@ -124,8 +124,9 @@ void ModelStateStore::load_param_full(const Parameter* p,
 }
 
 TransferHandle ModelStateStore::load_param_full_async(
-    const Parameter* p, std::span<half> dst) const {
-  return param_full_buffer(p, dst.size()).load_async(as_bytes_span(dst));
+    const Parameter* p, std::span<half> dst, TransferClass cls) const {
+  return param_full_buffer(p, dst.size())
+      .load_async(as_bytes_span(dst), 0, cls);
 }
 
 void ModelStateStore::store_param_full(const Parameter* p,
@@ -151,8 +152,8 @@ const TierBuffer& ModelStateStore::param_shard_buffer(
 }
 
 TransferHandle ModelStateStore::load_param_shard_async(
-    const Parameter* p, std::span<half> dst) const {
-  return param_shard_buffer(p).load_async(as_bytes_span(dst));
+    const Parameter* p, std::span<half> dst, TransferClass cls) const {
+  return param_shard_buffer(p).load_async(as_bytes_span(dst), 0, cls);
 }
 
 void ModelStateStore::load_param_shard(const Parameter* p,

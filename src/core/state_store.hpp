@@ -43,9 +43,12 @@ class ModelStateStore {
   bool broadcast_mode() const noexcept {
     return config_.params_partitioned() && !config_.bandwidth_centric;
   }
-  /// Begin an async load of the parameter shard (NVMe: real async).
-  TransferHandle load_param_shard_async(const Parameter* p,
-                                        std::span<half> dst) const;
+  /// Begin an async load of the parameter shard (NVMe: real async). The
+  /// coordinator passes kBulk for speculative prefetches; the default
+  /// latency class is for loads compute is about to block on.
+  TransferHandle load_param_shard_async(
+      const Parameter* p, std::span<half> dst,
+      TransferClass cls = TransferClass::kLatency) const;
   /// Synchronous load through the DataMover's eager path (no completion
   /// handle is materialized — the hot path for non-prefetched gathers).
   void load_param_shard(const Parameter* p, std::span<half> dst) const;
@@ -57,8 +60,9 @@ class ModelStateStore {
   /// Broadcast mode: load/store the owner's whole copy (numel elements;
   /// only valid on the owning rank).
   void load_param_full(const Parameter* p, std::span<half> dst) const;
-  TransferHandle load_param_full_async(const Parameter* p,
-                                       std::span<half> dst) const;
+  TransferHandle load_param_full_async(
+      const Parameter* p, std::span<half> dst,
+      TransferClass cls = TransferClass::kLatency) const;
   void store_param_full(const Parameter* p, std::span<const half> src);
 
   // --- fp16 gradient shards ----------------------------------------------

@@ -104,20 +104,22 @@ void TierBuffer::load(std::span<std::byte> dst, std::uint64_t offset) const {
 }
 
 TransferHandle TierBuffer::store_async(std::span<const std::byte> src,
-                                       std::uint64_t offset) {
+                                       std::uint64_t offset,
+                                       TransferClass cls) {
   check_slice("store", offset, src.size());
   if (tier_ == Tier::kNvme) {
-    return res_->mover().spill_nvme(extent_, src, offset);
+    return res_->mover().spill_nvme(extent_, src, offset, cls);
   }
   res_->mover().spill_copy(spill_route(tier_), data() + offset, src);
   return TransferHandle();  // trivially complete
 }
 
 TransferHandle TierBuffer::load_async(std::span<std::byte> dst,
-                                      std::uint64_t offset) const {
+                                      std::uint64_t offset,
+                                      TransferClass cls) const {
   check_slice("load", offset, dst.size());
   if (tier_ == Tier::kNvme) {
-    return res_->mover().fetch_nvme(extent_, dst, offset);
+    return res_->mover().fetch_nvme(extent_, dst, offset, cls);
   }
   res_->mover().fetch_copy(fetch_route(tier_), dst, data() + offset);
   return TransferHandle();

@@ -61,10 +61,14 @@ class TierBuffer {
 
   /// Async variants: complete immediately for GPU/CPU tiers, return a real
   /// in-flight handle for NVMe. The caller's span must outlive the handle.
+  /// `cls` is the scheduling class of the NVMe transfer — callers that
+  /// issue speculatively (prefetch) pass kBulk; callers about to block
+  /// keep the latency default.
   TransferHandle store_async(std::span<const std::byte> src,
-                             std::uint64_t offset = 0);
-  TransferHandle load_async(std::span<std::byte> dst,
-                            std::uint64_t offset = 0) const;
+                             std::uint64_t offset = 0,
+                             TransferClass cls = TransferClass::kBulk);
+  TransferHandle load_async(std::span<std::byte> dst, std::uint64_t offset = 0,
+                            TransferClass cls = TransferClass::kLatency) const;
 
  private:
   /// Overflow-safe slice validation: throws BoundsError unless

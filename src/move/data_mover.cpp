@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace zi {
@@ -35,16 +36,24 @@ const char* route_name(Route r) {
   return "?";
 }
 
+void TransferHandle::wait_inner() {
+  if (sched_ != nullptr) {
+    sched_->wait(ticket_);
+  } else {
+    status_.wait();
+  }
+}
+
 void TransferHandle::wait() {
   if (mover_ == nullptr) {
-    status_.wait();  // already recorded (or trivially complete)
+    wait_inner();  // already recorded (or trivially complete)
     return;
   }
   DataMover* mover = mover_;
   mover_ = nullptr;  // record exactly once, even if wait() throws
   const auto t0 = Clock::now();
   try {
-    status_.wait();
+    wait_inner();
   } catch (...) {
     mover->note_seconds(transfer_.route, ns_between(t0, Clock::now()));
     throw;
@@ -71,7 +80,24 @@ double DataMover::Stats::total_seconds() const {
 }
 
 DataMover::DataMover(NvmeStore& nvme, PinnedBufferPool& pinned)
-    : nvme_(nvme), pinned_(pinned) {}
+    : DataMover(nvme, pinned, TransferScheduler::Config::from_env()) {}
+
+DataMover::DataMover(NvmeStore& nvme, PinnedBufferPool& pinned,
+                     TransferScheduler::Config sched_config)
+    : nvme_(nvme),
+      pinned_(pinned),
+      sched_backend_(nvme),
+      sched_(sched_backend_, std::move(sched_config)) {}
+
+void DataMover::check_extent(const Extent& extent, std::size_t bytes,
+                             std::uint64_t offset, const char* what) {
+  // The scheduler addresses the backing file directly, so the per-extent
+  // checks NvmeStore would have done move here.
+  ZI_CHECK_MSG(extent.valid(), what << " on released extent");
+  ZI_CHECK_MSG(offset + bytes <= extent.size(),
+               what << " of " << bytes << " bytes at offset " << offset
+                    << " exceeds extent of " << extent.size());
+}
 
 StagingLease DataMover::stage(std::size_t bytes) {
   if (auto lease = pinned_.try_acquire_for(bytes)) {
@@ -84,53 +110,49 @@ StagingLease DataMover::stage(std::size_t bytes) {
 
 TransferHandle DataMover::fetch_nvme(const Extent& extent,
                                      std::span<std::byte> dst,
-                                     std::uint64_t offset) {
+                                     std::uint64_t offset, TransferClass cls) {
   ZI_TRACE_SPAN("move", route_name(Route::kNvmeFetch),
                 span_args(dst.size()));
   note_issue(Route::kNvmeFetch, dst.size());
   Transfer t{Route::kNvmeFetch, dst.size(), offset};
+  if (sched_.config().enabled) {
+    check_extent(extent, dst.size(), offset, "fetch");
+    return TransferHandle(this, t, &sched_,
+                          sched_.submit(Route::kNvmeFetch, cls,
+                                        extent.offset() + offset, dst.data(),
+                                        dst.size()));
+  }
   return TransferHandle(this, t, nvme_.read_async(extent, dst, offset));
 }
 
 TransferHandle DataMover::spill_nvme(const Extent& extent,
                                      std::span<const std::byte> src,
-                                     std::uint64_t offset) {
+                                     std::uint64_t offset, TransferClass cls) {
   ZI_TRACE_SPAN("move", route_name(Route::kNvmeSpill),
                 span_args(src.size()));
   note_issue(Route::kNvmeSpill, src.size());
   Transfer t{Route::kNvmeSpill, src.size(), offset};
+  if (sched_.config().enabled) {
+    check_extent(extent, src.size(), offset, "spill");
+    // The scheduler only reads spill payloads; const_cast confined here,
+    // mirroring AioEngine::submit_write.
+    return TransferHandle(
+        this, t, &sched_,
+        sched_.submit(Route::kNvmeSpill, cls, extent.offset() + offset,
+                      const_cast<std::byte*>(src.data()), src.size()));
+  }
   return TransferHandle(this, t, nvme_.write_async(extent, src, offset));
 }
 
 void DataMover::fetch_nvme_sync(const Extent& extent, std::span<std::byte> dst,
                                 std::uint64_t offset) {
-  ZI_TRACE_SPAN("move", route_name(Route::kNvmeFetch),
-                span_args(dst.size()));
-  note_issue(Route::kNvmeFetch, dst.size());
-  const auto t0 = Clock::now();
-  try {
-    nvme_.read(extent, dst, offset);
-  } catch (...) {
-    note_seconds(Route::kNvmeFetch, ns_between(t0, Clock::now()));
-    throw;
-  }
-  note_seconds(Route::kNvmeFetch, ns_between(t0, Clock::now()));
+  fetch_nvme(extent, dst, offset, TransferClass::kLatency).wait();
 }
 
 void DataMover::spill_nvme_sync(const Extent& extent,
                                 std::span<const std::byte> src,
                                 std::uint64_t offset) {
-  ZI_TRACE_SPAN("move", route_name(Route::kNvmeSpill),
-                span_args(src.size()));
-  note_issue(Route::kNvmeSpill, src.size());
-  const auto t0 = Clock::now();
-  try {
-    nvme_.write(extent, src, offset);
-  } catch (...) {
-    note_seconds(Route::kNvmeSpill, ns_between(t0, Clock::now()));
-    throw;
-  }
-  note_seconds(Route::kNvmeSpill, ns_between(t0, Clock::now()));
+  spill_nvme(extent, src, offset, TransferClass::kLatency).wait();
 }
 
 void DataMover::fetch_copy(Route r, std::span<std::byte> dst,
@@ -163,6 +185,7 @@ DataMover::Stats DataMover::stats() const {
   }
   s.staged_pinned = staged_pinned_.load(std::memory_order_relaxed);
   s.staged_heap = staged_heap_.load(std::memory_order_relaxed);
+  s.sched = sched_.stats();
   return s;
 }
 

@@ -25,8 +25,10 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "aio/nvme_store.hpp"
+#include "move/sched.hpp"
 #include "move/staging.hpp"
 #include "move/transfer.hpp"
 
@@ -47,16 +49,24 @@ class [[nodiscard]] TransferHandle {
  public:
   TransferHandle() = default;
   TransferHandle(TransferHandle&& o) noexcept
-      : mover_(o.mover_), transfer_(o.transfer_), status_(o.status_) {
+      : mover_(o.mover_),
+        sched_(o.sched_),
+        transfer_(o.transfer_),
+        status_(o.status_),
+        ticket_(std::move(o.ticket_)) {
     o.mover_ = nullptr;
+    o.sched_ = nullptr;
     o.status_ = AioStatus();
   }
   TransferHandle& operator=(TransferHandle&& o) noexcept {
     if (this != &o) {
       mover_ = o.mover_;
+      sched_ = o.sched_;
       transfer_ = o.transfer_;
       status_ = o.status_;
+      ticket_ = std::move(o.ticket_);
       o.mover_ = nullptr;
+      o.sched_ = nullptr;
       o.status_ = AioStatus();
     }
     return *this;
@@ -69,11 +79,21 @@ class [[nodiscard]] TransferHandle {
   /// the route's wait latency on first completion; safe to call again.
   void wait();
 
-  bool done() const { return status_.done(); }
+  bool done() const {
+    return sched_ != nullptr
+               ? ticket_->done.load(std::memory_order_acquire)
+               : status_.done();
+  }
   /// done() with no error recorded.
-  bool ok() const { return status_.ok(); }
+  bool ok() const {
+    return sched_ != nullptr ? done() && error_code() == 0 : status_.ok();
+  }
   /// errno of the first failed sub-request (0 = none). Never throws.
-  int error_code() const { return status_.error_code(); }
+  int error_code() const {
+    return sched_ != nullptr
+               ? ticket_->error_code.load(std::memory_order_relaxed)
+               : status_.error_code();
+  }
 
   const Transfer& transfer() const noexcept { return transfer_; }
   Route route() const noexcept { return transfer_.route; }
@@ -83,10 +103,20 @@ class [[nodiscard]] TransferHandle {
   friend class DataMover;
   TransferHandle(DataMover* mover, const Transfer& t, AioStatus status)
       : mover_(mover), transfer_(t), status_(status) {}
+  /// A transfer routed through the scheduler: completion lives in the
+  /// ticket, not an AioStatus (the backing AIO request may be a merge of
+  /// several handles' ranges).
+  TransferHandle(DataMover* mover, const Transfer& t, TransferScheduler* sched,
+                 TransferScheduler::Ticket ticket)
+      : mover_(mover), sched_(sched), transfer_(t), ticket_(std::move(ticket)) {}
+
+  void wait_inner();
 
   DataMover* mover_ = nullptr;  ///< cleared once latency is recorded
+  TransferScheduler* sched_ = nullptr;  ///< non-null = scheduler-routed
   Transfer transfer_{};
   AioStatus status_{};
+  TransferScheduler::Ticket ticket_;
 };
 
 class DataMover {
@@ -101,6 +131,8 @@ class DataMover {
     std::array<RouteStats, kNumRoutes> routes{};
     std::uint64_t staged_pinned = 0;  ///< stage() served by a pinned lease
     std::uint64_t staged_heap = 0;    ///< stage() fell back to heap
+    /// Scheduler decision counters (coalescing, preemption, queue waits).
+    TransferScheduler::Stats sched{};
     const RouteStats& route(Route r) const {
       return routes[static_cast<std::size_t>(r)];
     }
@@ -109,7 +141,12 @@ class DataMover {
     double total_seconds() const;
   };
 
+  /// The two-argument form reads the scheduler's ZI_MOVE_* knobs from the
+  /// environment; tests pass an explicit config (and, via sched(), drive
+  /// the queues directly).
   DataMover(NvmeStore& nvme, PinnedBufferPool& pinned);
+  DataMover(NvmeStore& nvme, PinnedBufferPool& pinned,
+            TransferScheduler::Config sched_config);
 
   DataMover(const DataMover&) = delete;
   DataMover& operator=(const DataMover&) = delete;
@@ -120,19 +157,26 @@ class DataMover {
   [[nodiscard]] StagingLease stage(std::size_t bytes);
 
   // --- NVMe routes (genuinely asynchronous) --------------------------------
+  // All NVMe traffic passes through the TransferScheduler (priority,
+  // rate limiting, coalescing) unless its config disables it. The class tag
+  // is the call site's knowledge of urgency: fetches default to kLatency
+  // (compute usually blocks on them), spills to kBulk; the coordinator
+  // downgrades speculative prefetches explicitly.
 
   /// extent[offset, offset+dst.size()) → dst. The destination must stay
   /// alive until the returned handle completes.
-  [[nodiscard]] TransferHandle fetch_nvme(const Extent& extent,
-                                          std::span<std::byte> dst,
-                                          std::uint64_t offset = 0);
-  /// src → extent[offset, ...).
-  [[nodiscard]] TransferHandle spill_nvme(const Extent& extent,
-                                          std::span<const std::byte> src,
-                                          std::uint64_t offset = 0);
+  [[nodiscard]] TransferHandle fetch_nvme(
+      const Extent& extent, std::span<std::byte> dst, std::uint64_t offset = 0,
+      TransferClass cls = TransferClass::kLatency);
+  /// src → extent[offset, ...). The source must stay alive until the
+  /// returned handle completes (the scheduler may queue it before reading).
+  [[nodiscard]] TransferHandle spill_nvme(
+      const Extent& extent, std::span<const std::byte> src,
+      std::uint64_t offset = 0, TransferClass cls = TransferClass::kBulk);
 
   /// Eager variants: submit + wait without materializing a TransferHandle —
   /// the synchronous hot path (state-store eager loads, checkpoint I/O).
+  /// Always latency-class: the caller is already blocked.
   void fetch_nvme_sync(const Extent& extent, std::span<std::byte> dst,
                        std::uint64_t offset = 0);
   void spill_nvme_sync(const Extent& extent, std::span<const std::byte> src,
@@ -153,14 +197,20 @@ class DataMover {
 
   NvmeStore& nvme() noexcept { return nvme_; }
   PinnedBufferPool& pinned() noexcept { return pinned_; }
+  /// The scheduling stage (tests kick/drain it directly).
+  TransferScheduler& sched() noexcept { return sched_; }
 
  private:
   friend class TransferHandle;
   void note_issue(Route r, std::uint64_t bytes);
   void note_seconds(Route r, std::uint64_t ns);
+  static void check_extent(const Extent& extent, std::size_t bytes,
+                           std::uint64_t offset, const char* what);
 
   NvmeStore& nvme_;
   PinnedBufferPool& pinned_;
+  NvmeSchedBackend sched_backend_;
+  TransferScheduler sched_;
 
   struct AtomicRoute {
     std::atomic<std::uint64_t> bytes{0};

@@ -58,6 +58,11 @@ constexpr bool route_is_async(Route r) {
   return r == Route::kNvmeFetch || r == Route::kNvmeSpill;
 }
 
+/// True for the host→tier direction (spill routes are the odd enumerators).
+constexpr bool route_is_spill(Route r) {
+  return (static_cast<int>(r) & 1) != 0;
+}
+
 /// Descriptor of one transfer: what moved where. Carried by TransferHandle
 /// and rendered into trace spans.
 struct Transfer {

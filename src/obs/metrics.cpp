@@ -91,6 +91,11 @@ std::string StepReport::to_json_line() const {
   append_kv(out, "move_wait_seconds", move_wait_seconds);
   append_kv(out, "staged_pinned", staged_pinned);
   append_kv(out, "staged_heap", staged_heap);
+  append_kv(out, "coalesced_transfers", coalesced_transfers);
+  append_kv(out, "coalesce_ratio", coalesce_ratio);
+  append_kv(out, "sched_preemptions", sched_preemptions);
+  append_kv(out, "sched_latency_wait_seconds", sched_latency_wait_seconds);
+  append_kv(out, "sched_bulk_wait_seconds", sched_bulk_wait_seconds);
   append_kv(out, "gpu_used", gpu_used);
   append_kv(out, "gpu_peak", gpu_peak);
   append_kv(out, "cpu_used", cpu_used);

@@ -78,6 +78,14 @@ struct StepReport {
   std::uint64_t staged_pinned = 0;  ///< stage() served from the pinned pool
   std::uint64_t staged_heap = 0;    ///< stage() fell back to heap
 
+  // Transfer scheduler deltas (this rank): how the scheduling stage between
+  // DataMover and the AIO engine reshaped the step's NVMe traffic.
+  std::uint64_t coalesced_transfers = 0;  ///< transfers that rode a merge
+  double coalesce_ratio = 0.0;  ///< coalesced/scheduled this step (0 = none)
+  std::uint64_t sched_preemptions = 0;  ///< latency issued ahead of bulk
+  double sched_latency_wait_seconds = 0.0;  ///< latency-class submit→issue
+  double sched_bulk_wait_seconds = 0.0;     ///< bulk-class submit→issue
+
   // Memory accountant (this rank, absolute bytes).
   std::uint64_t gpu_used = 0;
   std::uint64_t gpu_peak = 0;

@@ -7,6 +7,7 @@
 #   tools/check.sh zilint          # project-specific lints (tools/zilint)
 #   tools/check.sh tidy            # clang-tidy over src/ (needs clang-tidy)
 #   tools/check.sh build           # plain build + full ctest, ZI_WERROR=ON
+#   tools/check.sh sched           # transfer-scheduler suites only (fast loop)
 #   tools/check.sh tsan            # ZI_SANITIZE=thread build + concurrency tests
 #   tools/check.sh asan            # ZI_SANITIZE=address build + full ctest
 #   tools/check.sh ubsan           # ZI_SANITIZE=undefined build + full ctest
@@ -74,6 +75,17 @@ run_zilint() {
   "$build/tools/zilint/zilint" --root "$ROOT" || FAILED=1
 }
 
+# Tight loop for scheduler work: build the two data-movement suites and run
+# them alone. Shares the plain build tree so a follow-up `build` is warm.
+run_sched() {
+  local build="build-check-plain"
+  note "sched (test_move_sched + test_data_mover)"
+  cmake -B "$build" -S . -DZI_WERROR=ON >/dev/null
+  cmake --build "$build" -j "$JOBS" --target test_move_sched test_data_mover
+  (cd "$build" && ctest --output-on-failure -j "$JOBS" \
+    -R 'move_sched|data_mover') || FAILED=1
+}
+
 # $1: mode name, $2: ZI_SANITIZE value ('' = off), $3: ctest label ('' = all)
 run_build() {
   local mode="$1" sanitize="$2" label="$3"
@@ -96,13 +108,14 @@ for step in "${STEPS[@]}"; do
     zilint) run_zilint ;;
     tidy)   run_tidy ;;
     build)  run_build plain "" "" ;;
+    sched)  run_sched ;;
     # TSan: the concurrency-labeled subset (comm / aio / thread pool /
     # stress / lock tracker) — the full suite under TSan takes too long for
     # a pre-commit loop; CI runs the same subset.
     tsan)   run_build tsan thread concurrency ;;
     asan)   run_build asan address "" ;;
     ubsan)  run_build ubsan undefined "" ;;
-    *) echo "unknown step: $step (known: ${ALL[*]})"; exit 2 ;;
+    *) echo "unknown step: $step (known: ${ALL[*]} sched)"; exit 2 ;;
   esac
 done
 

@@ -656,7 +656,8 @@ void rule_fault_site_sync(const Project& p, std::vector<Finding>& findings) {
 void rule_handle_discipline(const Project& p, std::vector<Finding>& findings) {
   static const std::regex kIssue(
       R"(\b(fetch_nvme|spill_nvme|stage|try_acquire_for|try_acquire|)"
-      R"(submit_read|submit_write|read_async|write_async)\s*\()");
+      R"(submit_read|submit_write|read_async|write_async|)"
+      R"(read_abs_async|write_abs_async)\s*\()");
   static const std::regex kChain(
       R"(^(\s*[A-Za-z_]\w*\s*(\.|->|::)\s*)*$)");
   for (const auto& f : p.src) {
