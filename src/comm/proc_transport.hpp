@@ -1,0 +1,43 @@
+// Out-of-process transport backend: each rank is a forked subprocess.
+//
+// Topology is a star: the supervisor process (the caller of run_world) acts
+// as a hub running a single-threaded poll() event loop; each rank child is
+// connected by one SOCK_STREAM Unix-domain socketpair carrying a strict
+// request/reply frame protocol (barrier arrivals, p2p messages, subgroup
+// joins, failure reports, result payloads). Bulk collective payloads do not
+// ride the sockets: a memfd shared-memory segment mapped before fork() holds
+// one publication region per rank plus the cross-process heartbeat and
+// poison/failure words, so peers read contributions directly (the same
+// publish/sync/read protocol as the in-process backend, with one extra copy
+// in and out of the segment).
+//
+// What this buys over the in-process backend: a rank death is *real*. A
+// SIGKILLed rank closes its socket, the hub sees EOF (or its shared-memory
+// heartbeat going stale), records it as the world's first failure, poisons
+// the world, and every surviving rank unwinds with the same
+// CommAbortedError/CommTimeoutError surface the in-process backend
+// produces. That is the substrate for run_elastic's kill -9 story.
+//
+// Epoch/poison/timeout semantics match the in-process backend: the hub
+// enforces the same per-waiter deadlines, blames the non-arrived member
+// with the oldest heartbeat, and the protocol layer (Communicator) composes
+// identical failure records and exceptions. Known divergence, documented in
+// DESIGN.md §6: original exception *types* cannot cross the process
+// boundary, so run_ranks' single-primary rethrow resurfaces the original
+// message as zi::Error; and a p2p message already queued at poison time may
+// abort rather than deliver.
+#pragma once
+
+#include <functional>
+
+#include "comm/world.hpp"
+
+namespace zi::detail {
+
+/// run_world body for WorldOptions::transport == TransportKind::kProc:
+/// fork one subprocess per rank, run `fn` there, supervise via the hub
+/// event loop, and assemble the same WorldReport the thread driver builds.
+WorldReport run_world_proc(int num_ranks, const WorldOptions& options,
+                           const std::function<void(Communicator&)>& fn);
+
+}  // namespace zi::detail

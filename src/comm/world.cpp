@@ -1,13 +1,19 @@
 #include "comm/world.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <numeric>
 #include <sstream>
 #include <thread>
 #include <typeinfo>
 
+#include "comm/clock_util.hpp"
+#include "comm/inproc_transport.hpp"
+#include "comm/proc_transport.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 #include "obs/trace.hpp"
 #include "testing/fault_injector.hpp"
@@ -16,22 +22,7 @@ namespace zi {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             Clock::now().time_since_epoch())
-      .count();
-}
-
-Clock::duration ms_to_duration(double ms) {
-  return std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double, std::milli>(ms));
-}
-
-// Wait-slice for ticked (deadline-aware) waits: short enough that heartbeats
-// stay fresh relative to any sane stall threshold, long enough to be cheap.
-constexpr std::chrono::milliseconds kWaitSlice{50};
+using detail::CommClock;
 
 // Process-lifetime abort counter (survives world teardown across elastic
 // restarts — exactly what the per-step metrics line reports).
@@ -79,16 +70,23 @@ std::uint64_t comm_abort_count() noexcept {
 
 WorldOptions WorldOptions::from_env() {
   WorldOptions o;
-  if (const char* e = std::getenv("ZI_COMM_TIMEOUT_MS"); e != nullptr && *e) {
-    o.timeout_ms = std::strtod(e, nullptr);
-  }
-  if (const char* e = std::getenv("ZI_P2P_CAP_BYTES"); e != nullptr && *e) {
-    o.p2p_capacity_bytes =
-        static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
-  }
-  if (const char* e = std::getenv("ZI_P2P_CAP_MSGS"); e != nullptr && *e) {
-    o.p2p_capacity_messages =
-        static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+  o.timeout_ms = getenv_f64("ZI_COMM_TIMEOUT_MS", o.timeout_ms);
+  o.p2p_capacity_bytes =
+      static_cast<std::size_t>(getenv_u64("ZI_P2P_CAP_BYTES", o.p2p_capacity_bytes));
+  o.p2p_capacity_messages =
+      static_cast<std::size_t>(getenv_u64("ZI_P2P_CAP_MSGS", o.p2p_capacity_messages));
+  o.proc_shm_mb =
+      static_cast<std::size_t>(getenv_u64("ZI_PROC_SHM_MB", o.proc_shm_mb));
+  if (const char* e = std::getenv("ZI_TRANSPORT"); e != nullptr && *e) {
+    const std::string v(e);
+    if (v == "inproc") {
+      o.transport = TransportKind::kInproc;
+    } else if (v == "proc") {
+      o.transport = TransportKind::kProc;
+    } else {
+      throw Error("ZI_TRANSPORT='" + v +
+                  "' is not a valid transport (expected 'inproc' or 'proc')");
+    }
   }
   return o;
 }
@@ -98,19 +96,29 @@ WorldOptions WorldOptions::from_env() {
 
 WorldHealth::WorldHealth(int num_ranks)
     : ranks_(static_cast<std::size_t>(num_ranks)) {
-  const std::int64_t t0 = now_ns();
+  const std::int64_t t0 = detail::comm_now_ns();
   for (auto& r : ranks_) r.beat_ns.store(t0, std::memory_order_relaxed);
 }
 
 void WorldHealth::beat(int rank) noexcept {
   ranks_[static_cast<std::size_t>(rank)].beat_ns.store(
-      now_ns(), std::memory_order_relaxed);
+      detail::comm_now_ns(), std::memory_order_relaxed);
+}
+
+std::int64_t WorldHealth::beat_ns(int rank) const noexcept {
+  return ranks_[static_cast<std::size_t>(rank)].beat_ns.load(
+      std::memory_order_relaxed);
+}
+
+void WorldHealth::mirror_beat_ns(int rank, std::int64_t ns) noexcept {
+  ranks_[static_cast<std::size_t>(rank)].beat_ns.store(
+      ns, std::memory_order_relaxed);
 }
 
 double WorldHealth::heartbeat_age_ms(int rank) const noexcept {
   const std::int64_t last = ranks_[static_cast<std::size_t>(rank)]
                                 .beat_ns.load(std::memory_order_relaxed);
-  return static_cast<double>(now_ns() - last) / 1e6;
+  return static_cast<double>(detail::comm_now_ns() - last) / 1e6;
 }
 
 double WorldHealth::max_heartbeat_age_ms() const noexcept {
@@ -162,145 +170,21 @@ std::string WorldHealth::failure_what() const {
 }
 
 // ---------------------------------------------------------------------------
-// AbortableBarrier
+// Communicator failure plumbing
 
 namespace detail {
 
-AbortableBarrier::AbortableBarrier(int num_ranks, WorldHealth* health,
-                                   const std::vector<int>* global_ranks)
-    : num_ranks_(num_ranks),
-      health_(health),
-      global_ranks_(global_ranks),
-      arrived_round_(static_cast<std::size_t>(num_ranks), 0) {}
-
-BarrierResult AbortableBarrier::arrive_and_wait(int member, int global_rank,
-                                                double timeout_ms, bool ticked,
-                                                int* suspect_global,
-                                                std::uint64_t* epoch_out) {
-  UniqueLock lock(mutex_);
-  if (epoch_out != nullptr) *epoch_out = epoch_;
-  // Covers both a poisoned barrier and a subgroup created after the poison
-  // traversal already swept the tree (its own flag never got set).
-  if (poisoned_ || (health_ != nullptr && health_->poisoned())) {
-    return BarrierResult::kPoisoned;
-  }
-  const std::uint64_t round = epoch_;
-  arrived_round_[static_cast<std::size_t>(member)] = round + 1;
-  if (++arrived_ == num_ranks_) {
-    arrived_ = 0;
-    ++epoch_;
-    cv_.notify_all();
-    return BarrierResult::kOk;
-  }
-  const Clock::time_point deadline = timeout_ms > 0.0
-                                         ? Clock::now() + ms_to_duration(timeout_ms)
-                                         : Clock::time_point::max();
-  while (epoch_ == round && !poisoned_) {
-    if (!ticked) {
-      cv_.wait(lock);
-      continue;
-    }
-    if (health_ != nullptr) health_->beat(global_rank);
-    const Clock::time_point now = Clock::now();
-    if (now >= deadline) {
-      // Blame a rank that has not arrived this round — the one whose
-      // heartbeat is oldest (a crashed/stalled rank stopped beating; a rank
-      // merely blocked elsewhere keeps beating via its own ticked wait).
-      int suspect = -1;
-      double oldest = -1.0;
-      for (int m = 0; m < num_ranks_; ++m) {
-        if (arrived_round_[static_cast<std::size_t>(m)] == round + 1) continue;
-        const int g = (global_ranks_ != nullptr &&
-                       static_cast<std::size_t>(m) < global_ranks_->size())
-                          ? (*global_ranks_)[static_cast<std::size_t>(m)]
-                          : m;
-        const double age =
-            health_ != nullptr ? health_->heartbeat_age_ms(g) : 0.0;
-        if (age > oldest) {
-          oldest = age;
-          suspect = g;
-        }
-      }
-      if (suspect_global != nullptr) *suspect_global = suspect;
-      return BarrierResult::kTimeout;
-    }
-    const Clock::duration slice =
-        std::min<Clock::duration>(kWaitSlice, deadline - now);
-    cv_.wait_for(lock, slice);
-  }
-  return epoch_ != round ? BarrierResult::kOk : BarrierResult::kPoisoned;
-}
-
-void AbortableBarrier::poison() {
-  {
-    LockGuard lock(mutex_);
-    poisoned_ = true;
-  }
-  cv_.notify_all();
-}
-
-std::uint64_t AbortableBarrier::epoch() const {
-  LockGuard lock(mutex_);
-  return epoch_;
-}
-
-// ---------------------------------------------------------------------------
-// WorldShared
-
-WorldShared::WorldShared(int n, const WorldOptions& opts)
-    : num_ranks(n),
-      root(this),
-      options(opts),
-      health(std::make_shared<WorldHealth>(n)),
-      global_ranks(static_cast<std::size_t>(n)),
-      sync(n, health.get(), &global_ranks),
-      src_ptrs(static_cast<std::size_t>(n), nullptr),
-      dst_ptrs(static_cast<std::size_t>(n), nullptr),
-      counts(static_cast<std::size_t>(n), 0),
-      channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
-  std::iota(global_ranks.begin(), global_ranks.end(), 0);
-}
-
-WorldShared::WorldShared(int n, WorldShared* parent)
-    : num_ranks(n),
-      root(parent->root),
-      options(parent->options),
-      health(parent->health),
-      global_ranks(),  // filled by the creating rank before publication
-      sync(n, health.get(), &global_ranks),
-      src_ptrs(static_cast<std::size_t>(n), nullptr),
-      dst_ptrs(static_cast<std::size_t>(n), nullptr),
-      counts(static_cast<std::size_t>(n), 0),
-      channels(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {}
-
-void WorldShared::poison_world() {
-  health->set_poisoned();
-  root->poison_tree();
-}
-
-void WorldShared::poison_tree() {
-  sync.poison();
-  // Lock-then-notify on every channel so a receiver/sender that checked the
-  // poison flag and is about to wait cannot miss the wakeup.
-  for (P2pChannel& ch : channels) {
-    { LockGuard lock(ch.mutex); }
-    ch.cv.notify_all();
-  }
-  // Recurse into split() subgroups. Distinct mutex instances per level, and
-  // always parent-before-child, so the lock tracker sees a consistent order.
-  LockGuard lock(split_mutex);
-  for (auto& entry : split_groups) entry.second->poison_tree();
+Communicator make_communicator(int rank, int global_rank,
+                               std::shared_ptr<Transport> transport) {
+  return Communicator(rank, global_rank, std::move(transport));
 }
 
 }  // namespace detail
 
-// ---------------------------------------------------------------------------
-// Communicator failure plumbing
-
 void Communicator::throw_aborted(const char* op, std::uint64_t epoch) const {
   g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
   ZI_TRACE_INSTANT("comm", "abort");
-  WorldHealth& h = *shared_->health;
+  WorldHealth& h = transport_->health();
   const int culprit = h.culprit_rank();
   std::ostringstream os;
   os << "comm op '" << op << "' on rank " << global_rank_
@@ -313,15 +197,31 @@ void Communicator::throw_aborted(const char* op, std::uint64_t epoch) const {
 }
 
 void Communicator::enter_collective(const char* op) {
-  auto& s = *shared_;
-  s.health->beat(global_rank_);
-  if (s.health->poisoned()) throw_aborted(op, s.sync.epoch());
+  auto& t = *transport_;
+  t.beat();
+  if (t.poisoned()) throw_aborted(op, t.epoch());
   if (FaultInjector::armed()) {
     const FaultDecision crash =
         fault_check(FaultSite::kRankCrash, global_rank_);
     if (crash.error) {
       throw Error("fault injection: rank_crash on rank " +
                   std::to_string(global_rank_) + " entering '" + op + "'");
+    }
+    const FaultDecision pkill =
+        fault_check(FaultSite::kProcKill, global_rank_);
+    if (pkill.error) {
+      if (t.out_of_process()) {
+        // A real crash: SIGKILL this rank's own process mid-collective. No
+        // unwinding, no poison, no goodbye frame — peers and the supervisor
+        // must detect the death (socket EOF / heartbeat loss), which is
+        // exactly what the elastic kill -9 test exercises.
+        ::kill(::getpid(), SIGKILL);
+      }
+      // In-process worlds cannot SIGKILL one rank without killing them all;
+      // degrade to a thrown crash so the same spec stays usable everywhere.
+      throw Error("fault injection: proc_kill on rank " +
+                  std::to_string(global_rank_) + " entering '" + op +
+                  "' (in-process world: degraded to a thrown crash)");
     }
     const FaultDecision stall =
         fault_check(FaultSite::kRankStall, global_rank_);
@@ -340,48 +240,45 @@ void Communicator::injected_stall(const char* op, std::uint64_t cap_us) {
   // (error-kind rule) freezes until a detector — peer timeout or watchdog —
   // poisons the world; the 120 s cap keeps an undetected stall from hanging
   // an entire test binary.
-  const Clock::time_point deadline =
-      Clock::now() + (cap_us > 0 ? std::chrono::microseconds(cap_us)
-                                 : std::chrono::microseconds(
-                                       std::uint64_t{120} * 1000 * 1000));
+  const CommClock::time_point deadline =
+      CommClock::now() + (cap_us > 0 ? std::chrono::microseconds(cap_us)
+                                     : std::chrono::microseconds(
+                                           std::uint64_t{120} * 1000 * 1000));
   const bool unbounded = cap_us == 0;
-  while (Clock::now() < deadline) {
-    if (unbounded && shared_->health->poisoned()) {
-      throw_aborted(op, shared_->sync.epoch());
+  while (CommClock::now() < deadline) {
+    if (unbounded && transport_->poisoned()) {
+      throw_aborted(op, transport_->epoch());
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
 
 void Communicator::sync_point(const char* op) {
-  auto& s = *shared_;
+  auto& t = *transport_;
   int suspect = -1;
   std::uint64_t epoch = 0;
-  const detail::BarrierResult res = s.sync.arrive_and_wait(
-      rank_, global_rank_, s.options.timeout_ms, s.ticked_waits(), &suspect,
-      &epoch);
-  if (res == detail::BarrierResult::kOk) return;
-  if (res == detail::BarrierResult::kTimeout) {
+  const detail::WaitOutcome res = t.sync(&suspect, &epoch);
+  if (res == detail::WaitOutcome::kOk) return;
+  if (res == detail::WaitOutcome::kTimeout) {
     std::ostringstream os;
     os << "comm op '" << op << "' on rank " << global_rank_
-       << " timed out after " << s.options.timeout_ms << " ms at epoch "
+       << " timed out after " << t.options().timeout_ms << " ms at epoch "
        << epoch << " waiting for rank " << suspect << " (heartbeat age "
-       << (suspect >= 0 ? s.health->heartbeat_age_ms(suspect) : -1.0)
+       << (suspect >= 0 ? t.health().heartbeat_age_ms(suspect) : -1.0)
        << " ms)";
-    s.health->record_failure(suspect, WorldFailKind::kTimeout, os.str());
-    s.poison_world();
+    t.fail_world(suspect, WorldFailKind::kTimeout, os.str());
     g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
     ZI_TRACE_INSTANT("comm", "abort");
-    throw CommTimeoutError(os.str(), op, suspect, epoch, s.options.timeout_ms);
+    throw CommTimeoutError(os.str(), op, suspect, epoch,
+                           t.options().timeout_ms);
   }
   throw_aborted(op, epoch);
 }
 
 void Communicator::abort_world(const std::string& reason) {
-  shared_->health->record_failure(global_rank_, WorldFailKind::kException,
-                                  "abort_world: " + reason);
-  shared_->health->mark_failed(global_rank_);
-  shared_->poison_world();
+  transport_->health().mark_failed(global_rank_);
+  transport_->fail_world(global_rank_, WorldFailKind::kException,
+                         "abort_world: " + reason);
   ZI_TRACE_INSTANT("comm", "abort");
 }
 
@@ -389,102 +286,51 @@ void Communicator::abort_world(const std::string& reason) {
 // Point-to-point
 
 void Communicator::send_bytes(int to, detail::P2pMessage msg) {
-  auto& s = *shared_;
-  ZI_CHECK(to >= 0 && to < s.num_ranks && to != rank_);
-  s.health->beat(global_rank_);
+  auto& t = *transport_;
+  ZI_CHECK(to >= 0 && to < t.size() && to != rank_);
+  t.beat();
   const std::size_t bytes = msg.payload.size();
-  const std::size_t cap_bytes = s.options.p2p_capacity_bytes;
-  const std::size_t cap_msgs = s.options.p2p_capacity_messages;
-  detail::P2pChannel& ch = s.channel(rank_, to);
-  {
-    UniqueLock lock(ch.mutex);
-    const Clock::time_point deadline =
-        s.options.timeout_ms > 0.0
-            ? Clock::now() + ms_to_duration(s.options.timeout_ms)
-            : Clock::time_point::max();
-    bool counted_block = false;
-    // A single message larger than the byte cap is still deliverable: the
-    // cap gates on the queue being non-empty, so the queue never wedges.
-    while ((cap_bytes > 0 && !ch.queue.empty() &&
-            ch.queued_bytes + bytes > cap_bytes) ||
-           (cap_msgs > 0 && ch.queue.size() >= cap_msgs)) {
-      if (s.health->poisoned()) throw_aborted("send", s.sync.epoch());
-      if (!counted_block) {
-        counted_block = true;
-        s.traffic.p2p_send_blocks.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (!s.ticked_waits()) {
-        ch.cv.wait(lock);
-        continue;
-      }
-      s.health->beat(global_rank_);
-      const Clock::time_point now = Clock::now();
-      if (now >= deadline) {
-        const int receiver = s.global_ranks[static_cast<std::size_t>(to)];
-        std::ostringstream os;
-        os << "p2p send " << global_rank_ << "->" << receiver
-           << " blocked past channel cap for " << s.options.timeout_ms
-           << " ms (receiver not draining)";
-        lock.unlock();  // poison_tree re-locks every channel, incl. this one
-        s.health->record_failure(receiver, WorldFailKind::kTimeout, os.str());
-        s.poison_world();
-        g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
-        ZI_TRACE_INSTANT("comm", "abort");
-        throw CommTimeoutError(os.str(), "send", receiver, s.sync.epoch(),
-                               s.options.timeout_ms);
-      }
-      ch.cv.wait_for(lock, std::min<Clock::duration>(kWaitSlice,
-                                                     deadline - now));
-    }
-    ch.queue.push_back(std::move(msg));
-    ch.queued_bytes += bytes;
+  const detail::WaitOutcome res = t.p2p_send(to, std::move(msg));
+  if (res == detail::WaitOutcome::kOk) {
+    t.traffic().p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    return;
   }
-  ch.cv.notify_all();
-  s.traffic.p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (res == detail::WaitOutcome::kTimeout) {
+    const int receiver = t.global_rank_of(to);
+    std::ostringstream os;
+    os << "p2p send " << global_rank_ << "->" << receiver
+       << " blocked past channel cap for " << t.options().timeout_ms
+       << " ms (receiver not draining)";
+    t.fail_world(receiver, WorldFailKind::kTimeout, os.str());
+    g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+    ZI_TRACE_INSTANT("comm", "abort");
+    throw CommTimeoutError(os.str(), "send", receiver, t.epoch(),
+                           t.options().timeout_ms);
+  }
+  throw_aborted("send", t.epoch());
 }
 
 void Communicator::recv_bytes(std::span<std::byte> data, int from, int tag) {
-  auto& s = *shared_;
-  ZI_CHECK(from >= 0 && from < s.num_ranks && from != rank_);
-  s.health->beat(global_rank_);
-  detail::P2pChannel& ch = s.channel(from, rank_);
+  auto& t = *transport_;
+  ZI_CHECK(from >= 0 && from < t.size() && from != rank_);
+  t.beat();
   detail::P2pMessage msg;
-  {
-    UniqueLock lock(ch.mutex);
-    const Clock::time_point deadline =
-        s.options.timeout_ms > 0.0
-            ? Clock::now() + ms_to_duration(s.options.timeout_ms)
-            : Clock::time_point::max();
-    while (ch.queue.empty()) {
-      if (s.health->poisoned()) throw_aborted("recv", s.sync.epoch());
-      if (!s.ticked_waits()) {
-        ch.cv.wait(lock);
-        continue;
-      }
-      s.health->beat(global_rank_);
-      const Clock::time_point now = Clock::now();
-      if (now >= deadline) {
-        const int sender = s.global_ranks[static_cast<std::size_t>(from)];
-        std::ostringstream os;
-        os << "p2p recv on rank " << global_rank_ << " from rank " << sender
-           << " (tag " << tag << ") timed out after " << s.options.timeout_ms
-           << " ms";
-        lock.unlock();  // poison_tree re-locks every channel, incl. this one
-        s.health->record_failure(sender, WorldFailKind::kTimeout, os.str());
-        s.poison_world();
-        g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
-        ZI_TRACE_INSTANT("comm", "abort");
-        throw CommTimeoutError(os.str(), "recv", sender, s.sync.epoch(),
-                               s.options.timeout_ms);
-      }
-      ch.cv.wait_for(lock, std::min<Clock::duration>(kWaitSlice,
-                                                     deadline - now));
-    }
-    msg = std::move(ch.queue.front());
-    ch.queue.pop_front();
-    ch.queued_bytes -= msg.payload.size();
+  const detail::WaitOutcome res = t.p2p_recv(from, &msg);
+  if (res == detail::WaitOutcome::kTimeout) {
+    const int sender = t.global_rank_of(from);
+    std::ostringstream os;
+    os << "p2p recv on rank " << global_rank_ << " from rank " << sender
+       << " (tag " << tag << ") timed out after " << t.options().timeout_ms
+       << " ms";
+    t.fail_world(sender, WorldFailKind::kTimeout, os.str());
+    g_comm_aborts.fetch_add(1, std::memory_order_relaxed);
+    ZI_TRACE_INSTANT("comm", "abort");
+    throw CommTimeoutError(os.str(), "recv", sender, t.epoch(),
+                           t.options().timeout_ms);
   }
-  ch.cv.notify_all();  // wake a sender blocked on the cap
+  if (res == detail::WaitOutcome::kPoisoned) {
+    throw_aborted("recv", t.epoch());
+  }
   ZI_CHECK_MSG(msg.tag == tag, "p2p tag mismatch: expected "
                                    << tag << ", got " << msg.tag
                                    << " (per-channel FIFO ordering)");
@@ -501,22 +347,21 @@ void Communicator::recv_bytes(std::span<std::byte> data, int from, int tag) {
 void Communicator::barrier() {
   ZI_TRACE_SPAN("comm", "barrier");
   enter_collective("barrier");
-  shared_->traffic.barriers.fetch_add(1, std::memory_order_relaxed);
+  transport_->traffic().barriers.fetch_add(1, std::memory_order_relaxed);
   sync_point("barrier");
 }
 
 Communicator Communicator::split(int color) {
-  auto& s = *shared_;
+  auto& t = *transport_;
   enter_collective("split");
-  // Publish every rank's color.
+  // Publish every rank's color through the collective plane.
   thread_local int slot;
   slot = color;
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  t.publish(&slot, sizeof(int), 1);
   sync_point("split");
   std::vector<int> members;
-  for (int r = 0; r < s.num_ranks; ++r) {
-    if (*static_cast<const int*>(s.src_ptrs[static_cast<std::size_t>(r)]) ==
-        color) {
+  for (int r = 0; r < t.size(); ++r) {
+    if (*static_cast<const int*>(t.peer_data(r)) == color) {
       members.push_back(r);
     }
   }
@@ -526,40 +371,24 @@ Communicator Communicator::split(int color) {
   }
   ZI_CHECK(sub_rank >= 0);
 
-  // First member to arrive creates the subgroup state; the ordinal keeps
-  // successive split() calls from colliding.
-  std::shared_ptr<detail::WorldShared> sub;
-  {
-    LockGuard lock(s.split_mutex);
-    auto& entry = s.split_groups[{split_calls_, color}];
-    if (!entry) {
-      entry = std::make_shared<detail::WorldShared>(
-          static_cast<int>(members.size()), &s);
-      entry->global_ranks.reserve(members.size());
-      for (int m : members) {
-        entry->global_ranks.push_back(
-            s.global_ranks[static_cast<std::size_t>(m)]);
-      }
-    }
-    sub = entry;
-  }
+  std::shared_ptr<detail::Transport> sub =
+      t.make_subgroup(split_calls_, color, members, sub_rank);
   ++split_calls_;
   sync_point("split");  // everyone joined before first subgroup use
-  const int sub_global = sub->global_ranks[static_cast<std::size_t>(sub_rank)];
+  const int sub_global = sub->global_rank_of(sub_rank);
   return Communicator(sub_rank, sub_global, std::move(sub));
 }
 
 double Communicator::allreduce_sum_scalar(double value) {
-  auto& s = *shared_;
+  auto& t = *transport_;
   enter_collective("allreduce_sum_scalar");
   thread_local double slot;
   slot = value;
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  t.publish(&slot, sizeof(double), 1);
   sync_point("allreduce_sum_scalar");
   double acc = 0.0;
-  for (int r = 0; r < s.num_ranks; ++r) {
-    acc += *static_cast<const double*>(
-        s.src_ptrs[static_cast<std::size_t>(r)]);
+  for (int r = 0; r < t.size(); ++r) {
+    acc += *static_cast<const double*>(t.peer_data(r));
   }
   sync_point("allreduce_sum_scalar");
   return acc;
@@ -570,24 +399,23 @@ bool Communicator::allreduce_or(bool value) {
 }
 
 double Communicator::allreduce_max(double value) {
-  auto& s = *shared_;
+  auto& t = *transport_;
   enter_collective("allreduce_max");
-  // Reuse the pointer-exchange protocol with a per-rank double.
+  // Reuse the publication protocol with a per-rank double.
   thread_local double slot;
   slot = value;
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = &slot;
+  t.publish(&slot, sizeof(double), 1);
   sync_point("allreduce_max");
   double best = value;
-  for (int r = 0; r < s.num_ranks; ++r) {
-    best = std::max(best, *static_cast<const double*>(
-                              s.src_ptrs[static_cast<std::size_t>(r)]));
+  for (int r = 0; r < t.size(); ++r) {
+    best = std::max(best, *static_cast<const double*>(t.peer_data(r)));
   }
   sync_point("allreduce_max");
   return best;
 }
 
 // ---------------------------------------------------------------------------
-// World driver
+// World driver (inproc: one thread per rank)
 
 namespace {
 
@@ -599,11 +427,8 @@ struct JoinLatch {
   std::vector<bool> done ZI_GUARDED_BY(mutex);
 };
 
-}  // namespace
-
-WorldReport run_world(int num_ranks, const WorldOptions& options,
-                      const std::function<void(Communicator&)>& fn) {
-  ZI_CHECK(num_ranks > 0);
+WorldReport run_world_inproc(int num_ranks, const WorldOptions& options,
+                             const std::function<void(Communicator&)>& fn) {
   auto shared = std::make_shared<detail::WorldShared>(num_ranks, options);
   auto latch = std::make_shared<JoinLatch>();
   {
@@ -623,7 +448,8 @@ WorldReport run_world(int num_ranks, const WorldOptions& options,
     threads.emplace_back([shared, latch, errors, fn, r] {
       Tracer::set_thread_name("rank" + std::to_string(r));
       shared->health->beat(r);
-      Communicator comm(r, r, shared);
+      Communicator comm = detail::make_communicator(
+          r, r, std::make_shared<detail::InprocTransport>(shared, r));
       try {
         fn(comm);
         shared->health->mark_done(r);
@@ -659,14 +485,14 @@ WorldReport run_world(int num_ranks, const WorldOptions& options,
   if (watch) {
     watchdog = std::thread([shared, &stop_watchdog, options] {
       Tracer::set_thread_name("world_watchdog");
-      const Clock::duration interval =
-          ms_to_duration(options.watchdog_interval_ms);
-      Clock::time_point next_check = Clock::now() + interval;
+      const CommClock::duration interval =
+          detail::comm_ms_to_duration(options.watchdog_interval_ms);
+      CommClock::time_point next_check = CommClock::now() + interval;
       while (!stop_watchdog.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         if (shared->health->poisoned()) return;
-        if (Clock::now() < next_check) continue;
-        next_check = Clock::now() + interval;
+        if (CommClock::now() < next_check) continue;
+        next_check = CommClock::now() + interval;
         for (int r = 0; r < shared->num_ranks; ++r) {
           if (shared->health->status(r) != WorldHealth::RankStatus::kRunning) {
             continue;
@@ -698,15 +524,16 @@ WorldReport run_world(int num_ranks, const WorldOptions& options,
     std::vector<bool> done_snapshot;
     {
       UniqueLock lock(latch->mutex);
-      Clock::time_point poison_deadline = Clock::time_point::max();
+      CommClock::time_point poison_deadline = CommClock::time_point::max();
       while (latch->remaining > 0) {
         if (shared->health->poisoned() &&
-            poison_deadline == Clock::time_point::max()) {
+            poison_deadline == CommClock::time_point::max()) {
           poison_deadline =
-              Clock::now() + ms_to_duration(std::max(0.0, options.join_grace_ms));
+              CommClock::now() +
+              detail::comm_ms_to_duration(std::max(0.0, options.join_grace_ms));
         }
-        if (Clock::now() >= poison_deadline) break;
-        latch->cv.wait_for(lock, kWaitSlice);
+        if (CommClock::now() >= poison_deadline) break;
+        latch->cv.wait_for(lock, detail::kWaitSlice);
       }
       done_snapshot = latch->done;
     }
@@ -752,8 +579,20 @@ WorldReport run_world(int num_ranks, const WorldOptions& options,
   if (rep.culprit_rank < 0 && !rep.primary_ranks.empty()) {
     rep.culprit_rank = rep.primary_ranks.front();
   }
+  rep.rank_payloads = shared->take_results();
   rep.ok = rep.failed_ranks.empty();
   return rep;
+}
+
+}  // namespace
+
+WorldReport run_world(int num_ranks, const WorldOptions& options,
+                      const std::function<void(Communicator&)>& fn) {
+  ZI_CHECK(num_ranks > 0);
+  if (options.transport == TransportKind::kProc) {
+    return detail::run_world_proc(num_ranks, options, fn);
+  }
+  return run_world_inproc(num_ranks, options, fn);
 }
 
 void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn) {

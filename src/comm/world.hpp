@@ -1,11 +1,26 @@
-// In-process data-parallel world: rank threads + MPI-style collectives.
+// Data-parallel world: MPI-style collectives over a pluggable transport.
 //
-// The paper's data-parallel processes become threads of one process, and
-// NCCL collectives become shared-memory collectives with *deterministic
-// rank-order reduction*. Determinism is a deliberate design decision (see
-// DESIGN.md): ZeRO-3's reduce-scatter and classic DDP's allreduce both sum
-// contributions in ascending rank order with fp32 accumulation, so the
-// ZeRO ≡ DDP training-equivalence tests can use tight tolerances.
+// The Communicator implements the *protocol* layer — collective algorithms
+// with deterministic rank-order reduction, the abortable epoch/poison
+// failure semantics, and point-to-point channels with caps — over an
+// abstract detail::Transport data plane. Two backends exist:
+//
+//   * inproc (default): the paper's data-parallel processes become threads
+//     of one process exchanging buffer pointers through shared memory
+//     (inproc_transport.hpp). Deterministic and zero-copy; what every unit
+//     test runs on.
+//   * proc: each rank is a forked subprocess; Unix-domain sockets carry the
+//     control protocol and a shared-memory segment carries bulk collective
+//     payloads (proc_transport.hpp). A SIGKILLed rank becomes a real,
+//     detectable failure — the substrate the elastic supervisor's crash
+//     story actually needs.
+//
+// Determinism is a deliberate design decision (see DESIGN.md): ZeRO-3's
+// reduce-scatter and classic DDP's allreduce both sum contributions in
+// ascending rank order with fp32 accumulation, so the ZeRO ≡ DDP
+// training-equivalence tests can use tight tolerances — and because each
+// rank computes its reduction locally from identical inputs, the result is
+// bit-identical across transports.
 //
 // The collective API mirrors MPI semantics (barrier / broadcast / allgather
 // / reduce_scatter / allreduce / gather), so a real MPI or NCCL backend
@@ -19,15 +34,14 @@
 // set (or WorldOptions::timeout_ms), a rank that waits longer than the
 // timeout blames the slowest missing peer, poisons the world itself, and
 // throws CommTimeoutError. All timeouts/watchdogs default OFF so unit tests
-// keep exact legacy behavior; the elastic supervisor turns them on.
+// keep exact legacy behavior; the elastic supervisor turns them on. Both
+// transports implement these semantics byte-for-byte.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -43,9 +57,10 @@ namespace zi {
 class Communicator;
 struct WorldReport;
 
-/// Byte counters per collective kind, aggregated over all ranks. "Bytes"
-/// counts the data each rank contributes (send-side volume), matching how
-/// the paper accounts data-movement volume in Sec. 4.
+/// Byte counters per collective kind. On the inproc backend they aggregate
+/// over all ranks of a group; on the proc backend each rank process keeps
+/// its own counters (send-side volume either way, matching how the paper
+/// accounts data-movement volume in Sec. 4).
 struct CommTraffic {
   std::atomic<std::uint64_t> allgather_bytes{0};
   std::atomic<std::uint64_t> reduce_scatter_bytes{0};
@@ -68,6 +83,12 @@ enum class WorldFailKind : int {
 
 const char* world_fail_kind_name(WorldFailKind kind) noexcept;
 
+/// Which data plane run_world uses (ZI_TRANSPORT=inproc|proc).
+enum class TransportKind : int {
+  kInproc = 0,  ///< rank threads + shared memory (deterministic default)
+  kProc = 1,    ///< forked rank processes + sockets + shm segment
+};
+
 /// Per-world failure-detection knobs. Everything defaults off, which makes
 /// the communicator behave exactly like the pre-abortable one (untimed
 /// waits, plain join). from_env() reads the ZI_* variables so trainer-level
@@ -82,13 +103,20 @@ struct WorldOptions {
   /// Only meaningful with watchdog_interval_ms > 0.
   double stall_threshold_ms = 0.0;
   /// After a poison, how long run_world waits for unblocked ranks to unwind
-  /// before detaching the genuinely wedged ones (threads cannot be killed).
+  /// before detaching the genuinely wedged ones (threads cannot be killed;
+  /// wedged rank *processes* are SIGKILLed instead of detached).
   double join_grace_ms = 2000.0;
   /// Per-channel P2P queue cap in bytes; a send that would exceed it blocks
   /// (abort-aware) until the receiver drains. 0: unbounded (legacy).
   std::size_t p2p_capacity_bytes = 0;
   /// Per-channel P2P queue cap in messages. 0: unbounded.
   std::size_t p2p_capacity_messages = 0;
+  /// Which transport backend run_world launches ranks on.
+  TransportKind transport = TransportKind::kInproc;
+  /// Proc backend only: per-rank bulk-payload region in the shared-memory
+  /// segment, in MiB. A collective whose per-rank contribution exceeds this
+  /// fails fast with a descriptive error.
+  std::size_t proc_shm_mb = 64;
 
   /// True when any deadline-based detection is active (timed waits tick so
   /// blocked ranks keep their heartbeats fresh for the watchdog).
@@ -98,20 +126,24 @@ struct WorldOptions {
   }
 
   /// Defaults overridden by ZI_COMM_TIMEOUT_MS / ZI_P2P_CAP_BYTES /
-  /// ZI_P2P_CAP_MSGS when set. Unit tests that never set them get the
-  /// legacy wait-forever semantics.
+  /// ZI_P2P_CAP_MSGS / ZI_TRANSPORT / ZI_PROC_SHM_MB when set. Values are
+  /// parsed strictly (full-string match) — a typo like ZI_P2P_CAP_BYTES=4gb
+  /// throws instead of silently configuring a zero-capacity channel. Unit
+  /// tests that never set them get the legacy wait-forever semantics.
   static WorldOptions from_env();
 };
 
 namespace detail {
 struct WorldShared;
+class Transport;
 }  // namespace detail
 
 /// Shared per-world health registry: one slot per root-world rank holding a
 /// heartbeat timestamp and a status, plus the first-failure record. All of
 /// it is written by rank threads and read by peers / the watchdog / the
 /// elastic supervisor, so slots are atomics and the failure record is
-/// mutex-guarded with first-write-wins semantics.
+/// mutex-guarded with first-write-wins semantics. On the proc backend each
+/// process holds a local instance mirrored from the cross-process segment.
 class WorldHealth {
  public:
   enum class RankStatus : int { kRunning = 0, kDone = 1, kFailed = 2 };
@@ -144,12 +176,22 @@ class WorldHealth {
   WorldFailKind fail_kind() const;
   std::string failure_what() const;
 
- private:
-  friend struct detail::WorldShared;
+  // --- transport-mirror maintenance -------------------------------------
+  // Only transport backends call these. Everyone else reports failures via
+  // Transport::fail_world so blocked waiters actually wake: setting the
+  // flag alone poisons nothing.
+
+  /// Raw nanosecond heartbeat of `rank` (steady-clock timestamp).
+  std::int64_t beat_ns(int rank) const noexcept;
+  /// Overwrite `rank`'s heartbeat with a timestamp taken elsewhere (the
+  /// proc backend copies peers' beats out of the shared segment).
+  void mirror_beat_ns(int rank, std::int64_t ns) noexcept;
+  /// Mark the world poisoned without waking anyone.
   void set_poisoned() noexcept {
     poisoned_.store(true, std::memory_order_release);
   }
 
+ private:
   struct PerRank {
     std::atomic<int> status{static_cast<int>(RankStatus::kRunning)};
     std::atomic<std::int64_t> beat_ns{0};
@@ -169,114 +211,86 @@ namespace detail {
 /// One buffered point-to-point message (payload copied at send time so the
 /// sender never blocks on the receiver — eager protocol).
 struct P2pMessage {
-  int tag;
+  int tag = 0;
   std::vector<std::byte> payload;
 };
 
-/// FIFO channel between one (sender, receiver) pair.
-struct P2pChannel {
-  Mutex mutex{"P2pChannel::mutex"};
-  CondVar cv;
-  std::deque<P2pMessage> queue ZI_GUARDED_BY(mutex);
-  std::size_t queued_bytes ZI_GUARDED_BY(mutex) = 0;
-};
+/// Outcome of one blocking transport wait (barrier round, p2p send past the
+/// cap, p2p recv on an empty channel).
+enum class WaitOutcome : int { kOk = 0, kPoisoned = 1, kTimeout = 2 };
 
-/// Outcome of one abortable-barrier round for one rank.
-enum class BarrierResult : int { kOk = 0, kPoisoned = 1, kTimeout = 2 };
-
-/// Epoch-counting, poisonable replacement for std::barrier. Completing a
-/// round increments the epoch under the mutex and wakes everyone — the same
-/// happens-before edge std::barrier gave the pointer-exchange protocol.
-/// poison() wakes all waiters permanently; a timed wait that expires picks a
-/// suspect (a not-yet-arrived rank, oldest heartbeat first) and returns
-/// kTimeout without completing the round.
-class AbortableBarrier {
+/// The data plane under the Communicator protocol layer. One instance per
+/// (rank, group): collective publication/synchronization, capped p2p
+/// channels, heartbeat publication, and poison/abort wakeup. All blocking
+/// entry points return WaitOutcome instead of throwing — the protocol layer
+/// owns error construction so messages and failure records are identical
+/// across backends.
+///
+/// Collective contract (the pointer-exchange protocol, generalized): a rank
+/// calls publish() with its contribution, sync() to open the read phase,
+/// peer_data()/peer_count() to read peers' contributions, and sync() again
+/// to release them. peer_data_mut() lets the in-place allreduce write
+/// reduced slices back into peers' buffers; readback() then pulls this
+/// rank's buffer out of the transport (a no-op inproc, where peers wrote
+/// into the caller's memory directly; a copy out of the shm segment on the
+/// proc backend).
+class Transport {
  public:
-  /// `health` / `global_ranks` may outlive-borrow from the owning
-  /// WorldShared; `global_ranks` maps member index -> root-world rank for
-  /// split() subgroups (identity for the root world).
-  AbortableBarrier(int num_ranks, WorldHealth* health,
-                   const std::vector<int>* global_ranks);
+  virtual ~Transport() = default;
 
-  /// Arrive and wait for the round to complete. `ticked` selects sliced
-  /// waits that refresh this rank's heartbeat (required whenever a timeout
-  /// or watchdog is active). On kTimeout, *suspect_global receives the
-  /// blamed root-world rank. *epoch_out receives the round's epoch.
-  BarrierResult arrive_and_wait(int member, int global_rank, double timeout_ms,
-                                bool ticked, int* suspect_global,
-                                std::uint64_t* epoch_out);
+  // --- identity / static configuration ----------------------------------
+  virtual int size() const noexcept = 0;
+  virtual int global_rank_of(int member) const noexcept = 0;
+  virtual const WorldOptions& options() const noexcept = 0;
+  virtual CommTraffic& traffic() noexcept = 0;
+  /// True for backends whose ranks are separate OS processes (proc_kill
+  /// faults SIGKILL the rank instead of throwing).
+  virtual bool out_of_process() const noexcept = 0;
 
-  /// Permanently wake all current and future waiters with kPoisoned.
-  void poison();
+  // --- health / failure domain ------------------------------------------
+  /// This group's health registry. Proc backend: a local mirror refreshed
+  /// from the shared segment on access.
+  virtual WorldHealth& health() noexcept = 0;
+  /// Refresh this rank's own heartbeat.
+  virtual void beat() noexcept = 0;
+  virtual bool poisoned() const noexcept = 0;
+  /// Record the first failure (first-write-wins) and poison the whole
+  /// split tree: every blocked waiter on every rank wakes with kPoisoned.
+  virtual void fail_world(int culprit_global, WorldFailKind kind,
+                          const std::string& what) = 0;
 
-  std::uint64_t epoch() const;
+  // --- collective data plane --------------------------------------------
+  virtual void publish(const void* data, std::size_t bytes,
+                       std::size_t count) = 0;
+  virtual WaitOutcome sync(int* suspect_global, std::uint64_t* epoch_out) = 0;
+  virtual std::uint64_t epoch() const = 0;
+  virtual const void* peer_data(int member) const = 0;
+  virtual std::size_t peer_count(int member) const = 0;
+  virtual void* peer_data_mut(int member) = 0;
+  virtual void readback(void* data, std::size_t bytes) = 0;
 
- private:
-  const int num_ranks_;
-  WorldHealth* const health_;
-  const std::vector<int>* const global_ranks_;
+  // --- point-to-point ----------------------------------------------------
+  /// Enqueue toward `to_member`, blocking (abort-aware, timed) past the
+  /// channel cap. Increments traffic().p2p_send_blocks when it blocks.
+  virtual WaitOutcome p2p_send(int to_member, P2pMessage msg) = 0;
+  /// Pop the next message from `from_member` (FIFO; tag checked by caller).
+  virtual WaitOutcome p2p_recv(int from_member, P2pMessage* out) = 0;
 
-  mutable Mutex mutex_{"AbortableBarrier::mutex"};
-  CondVar cv_;
-  std::uint64_t epoch_ ZI_GUARDED_BY(mutex_) = 0;
-  int arrived_ ZI_GUARDED_BY(mutex_) = 0;
-  bool poisoned_ ZI_GUARDED_BY(mutex_) = false;
-  // arrived_round_[m] == epoch_ + 1 while member m has arrived in the open
-  // round (0 = never arrived) — lets a timed-out waiter list the missing.
-  std::vector<std::uint64_t> arrived_round_ ZI_GUARDED_BY(mutex_);
+  // --- subgroups / results ------------------------------------------------
+  /// Create or join the split() subgroup for (ordinal, color). `members`
+  /// are member indices of *this* group, ascending; `sub_rank` is this
+  /// rank's index within them. Called between the two split() sync points.
+  virtual std::shared_ptr<Transport> make_subgroup(
+      int ordinal, int color, const std::vector<int>& members,
+      int sub_rank) = 0;
+  /// Stash an opaque payload returned as WorldReport::rank_payloads.
+  virtual void set_result(std::string payload) = 0;
 };
 
-/// State shared by all ranks of one World. split() subgroups form a tree
-/// rooted at the run_world-created world; the whole tree shares one
-/// WorldHealth (one failure domain) and one WorldOptions.
-struct WorldShared {
-  /// Root world: ranks 0..n-1 are global ranks.
-  WorldShared(int n, const WorldOptions& opts);
-  /// split() subgroup sharing `parent`'s root/health/options. The creating
-  /// rank fills global_ranks before publishing it in the split registry.
-  WorldShared(int n, WorldShared* parent);
-
-  P2pChannel& channel(int from, int to) {
-    return channels[static_cast<std::size_t>(from) *
-                        static_cast<std::size_t>(num_ranks) +
-                    static_cast<std::size_t>(to)];
-  }
-
-  /// Whether blocked waits must tick (refresh heartbeats / check deadlines).
-  bool ticked_waits() const noexcept { return options.deadlines_enabled(); }
-
-  /// Declare the world failed: set the health poison flag, then wake every
-  /// waiter in the whole split tree (barriers, recv()ers, capped senders).
-  /// Callers must NOT hold any channel/barrier mutex of this tree.
-  void poison_world();
-
-  int num_ranks;
-  WorldShared* root;  ///< root of the split tree (self for the root world);
-                      ///< raw pointer — the root strictly outlives subgroups
-  WorldOptions options;
-  std::shared_ptr<WorldHealth> health;  ///< shared across the split tree
-  std::vector<int> global_ranks;        ///< member index -> root-world rank
-  AbortableBarrier sync;
-  // src_ptrs / dst_ptrs / counts are NOT lock-guarded: each rank writes only
-  // its own slot and all cross-rank reads are ordered by `sync` rounds
-  // (the epoch bump under the barrier mutex provides the happens-before
-  // edge TSan checks, exactly as std::barrier did).
-  std::vector<const void*> src_ptrs;
-  std::vector<void*> dst_ptrs;
-  std::vector<std::size_t> counts;
-  std::vector<P2pChannel> channels;
-  CommTraffic traffic;
-
-  // Subgroup registry for split(): keyed by (per-rank split-call ordinal,
-  // color); the first member to arrive creates the subgroup's shared
-  // state, everyone else joins it.
-  Mutex split_mutex{"WorldShared::split_mutex"};
-  std::map<std::pair<int, int>, std::shared_ptr<WorldShared>> split_groups
-      ZI_GUARDED_BY(split_mutex);
-
- private:
-  void poison_tree();
-};
+/// Transport backends construct Communicators through this factory (the
+/// constructor stays private so user code cannot fabricate ranks).
+Communicator make_communicator(int rank, int global_rank,
+                               std::shared_ptr<Transport> transport);
 
 }  // namespace detail
 
@@ -295,21 +309,31 @@ struct WorldReport {
   std::vector<std::exception_ptr> exceptions; ///< parallel; null for zombies
   std::vector<int> primary_ranks;  ///< subset with non-comm exceptions
   int detached = 0;  ///< ranks left wedged past join_grace_ms (zombies)
+  /// Per-root-rank Communicator::set_result payloads ("" when a rank never
+  /// set one or died first). The only rank-to-supervisor data channel that
+  /// works on both backends — an out-of-process rank cannot write into
+  /// supervisor-captured locals.
+  std::vector<std::string> rank_payloads;
 };
 
-/// Launch `num_ranks` threads, each receiving a Communicator bound to its
-/// rank, and join them. Never throws rank errors: the full outcome comes
-/// back in the WorldReport. When options enable deadlines, ranks still
-/// blocked join_grace_ms after a poison are detached (counted in
-/// `detached`) — such zombie threads may still reference caller state, so
-/// supervisors must keep the closed-over objects alive (see run_elastic).
+/// Launch `num_ranks` ranks — threads (inproc) or forked processes (proc),
+/// per options.transport — each receiving a Communicator bound to its rank,
+/// and join them. Never throws rank errors: the full outcome comes back in
+/// the WorldReport. When options enable deadlines, ranks still blocked
+/// join_grace_ms after a poison are detached (counted in `detached`) — such
+/// zombie threads may still reference caller state, so supervisors must
+/// keep the closed-over objects alive (see run_elastic). On the proc
+/// backend wedged rank processes are SIGKILLed instead, and a rank that
+/// dies without reporting (e.g. kill -9) is a primary failure.
 WorldReport run_world(int num_ranks, const WorldOptions& options,
                       const std::function<void(Communicator&)>& fn);
 
 /// Throwing wrapper over run_world with WorldOptions::from_env(). Exactly
 /// one rank failing with a non-comm exception rethrows that original
 /// exception (peer comm aborts are collateral); anything else that fails
-/// throws a WorldError aggregating every rank's error.
+/// throws a WorldError aggregating every rank's error. (Proc backend: the
+/// original exception cannot cross the process boundary, so the rethrow
+/// carries the original message as a zi::Error.)
 void run_ranks(int num_ranks, const std::function<void(Communicator&)>& fn);
 void run_ranks(int num_ranks, const WorldOptions& options,
                const std::function<void(Communicator&)>& fn);
@@ -322,22 +346,29 @@ std::uint64_t comm_abort_count() noexcept;
 class Communicator {
  public:
   int rank() const noexcept { return rank_; }
-  int size() const noexcept { return shared_->num_ranks; }
+  int size() const noexcept { return transport_->size(); }
   /// Rank in the root world (== rank() unless this is a split() subgroup).
   int global_rank() const noexcept { return global_rank_; }
-  const CommTraffic& traffic() const noexcept { return shared_->traffic; }
+  const CommTraffic& traffic() const noexcept { return transport_->traffic(); }
 
   /// The split tree's shared health registry (heartbeats, failure record).
-  WorldHealth& health() noexcept { return *shared_->health; }
-  const WorldHealth& health() const noexcept { return *shared_->health; }
+  WorldHealth& health() noexcept { return transport_->health(); }
+  const WorldHealth& health() const noexcept { return transport_->health(); }
 
   /// Refresh this rank's heartbeat outside comm ops (the trainer beats once
   /// per step so compute-heavy phases don't look like stalls).
-  void heartbeat() noexcept { shared_->health->beat(global_rank_); }
+  void heartbeat() noexcept { transport_->beat(); }
 
   /// Explicitly poison the world, blaming this rank. Blocked peers unblock
   /// with CommAbortedError; this rank's own next comm op throws too.
   void abort_world(const std::string& reason);
+
+  /// Attach an opaque result payload for this rank, returned to the
+  /// supervisor as WorldReport::rank_payloads[global_rank()]. Last call
+  /// wins; typically called once, right before the rank body returns.
+  void set_result(std::string payload) {
+    transport_->set_result(std::move(payload));
+  }
 
   /// Synchronize all ranks.
   void barrier();
@@ -402,14 +433,16 @@ class Communicator {
   Communicator split(int color);
 
  private:
-  friend WorldReport run_world(int, const WorldOptions&,
-                               const std::function<void(Communicator&)>&);
+  friend Communicator detail::make_communicator(
+      int, int, std::shared_ptr<detail::Transport>);
   Communicator(int rank, int global_rank,
-               std::shared_ptr<detail::WorldShared> shared)
-      : rank_(rank), global_rank_(global_rank), shared_(std::move(shared)) {}
+               std::shared_ptr<detail::Transport> transport)
+      : rank_(rank),
+        global_rank_(global_rank),
+        transport_(std::move(transport)) {}
 
   /// Common collective prologue: heartbeat, poisoned fast-fail, and the
-  /// rank_crash / rank_stall / collective_delay fault-injection sites.
+  /// rank_crash / proc_kill / rank_stall / collective_delay fault sites.
   void enter_collective(const char* op);
   /// One abortable-barrier round; throws CommAbortedError/CommTimeoutError
   /// (after recording the failure and poisoning the world) on anything but
@@ -432,7 +465,7 @@ class Communicator {
 
   int rank_;
   int global_rank_;
-  std::shared_ptr<detail::WorldShared> shared_;
+  std::shared_ptr<detail::Transport> transport_;
   int split_calls_ = 0;  ///< lockstep ordinal for subgroup registry keys
 };
 
@@ -456,49 +489,44 @@ void Communicator::recv(std::span<T> data, int from, int tag) {
 
 template <typename T>
 void Communicator::broadcast(std::span<T> data, int root) {
-  auto& s = *shared_;
-  ZI_CHECK(root >= 0 && root < s.num_ranks);
+  auto& t = *transport_;
+  ZI_CHECK(root >= 0 && root < t.size());
   ZI_TRACE_SPAN("comm", "broadcast",
                 "\"bytes\":" + std::to_string(data.size_bytes()));
   enter_collective("broadcast");
-  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
-  s.traffic.broadcast_bytes.fetch_add(data.size_bytes(),
-                                      std::memory_order_relaxed);
-  if (rank_ == root) {
-    s.src_ptrs[static_cast<std::size_t>(root)] = data.data();
-    s.counts[static_cast<std::size_t>(root)] = data.size();
-  }
-  sync_point("broadcast");  // publish root pointer
+  t.traffic().collectives.fetch_add(1, std::memory_order_relaxed);
+  t.traffic().broadcast_bytes.fetch_add(data.size_bytes(),
+                                        std::memory_order_relaxed);
+  if (rank_ == root) t.publish(data.data(), data.size_bytes(), data.size());
+  sync_point("broadcast");  // publish root contribution
   if (rank_ != root) {
-    const T* src =
-        static_cast<const T*>(s.src_ptrs[static_cast<std::size_t>(root)]);
-    ZI_CHECK_MSG(s.counts[static_cast<std::size_t>(root)] == data.size(),
+    ZI_CHECK_MSG(t.peer_count(root) == data.size(),
                  "broadcast size mismatch");
-    std::memcpy(data.data(), src, data.size_bytes());
+    std::memcpy(data.data(), t.peer_data(root), data.size_bytes());
   }
   sync_point("broadcast");  // root buffer safe to reuse
 }
 
 template <typename T>
 void Communicator::allgather(std::span<const T> send, std::span<T> recv) {
-  auto& s = *shared_;
-  const auto n = static_cast<std::size_t>(s.num_ranks);
+  auto& t = *transport_;
+  const auto n = static_cast<std::size_t>(t.size());
   ZI_CHECK_MSG(recv.size() == send.size() * n,
                "allgather: recv " << recv.size() << " != send " << send.size()
                                   << " * " << n);
   ZI_TRACE_SPAN("comm", "allgather",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
   enter_collective("allgather");
-  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
-  s.traffic.allgather_bytes.fetch_add(send.size_bytes(),
-                                      std::memory_order_relaxed);
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
-  s.counts[static_cast<std::size_t>(rank_)] = send.size();
-  sync_point("allgather");  // publish all pointers
+  t.traffic().collectives.fetch_add(1, std::memory_order_relaxed);
+  t.traffic().allgather_bytes.fetch_add(send.size_bytes(),
+                                        std::memory_order_relaxed);
+  t.publish(send.data(), send.size_bytes(), send.size());
+  sync_point("allgather");  // publish all contributions
   for (std::size_t r = 0; r < n; ++r) {
-    ZI_CHECK_MSG(s.counts[r] == send.size(), "allgather: unequal send sizes");
-    const T* src = static_cast<const T*>(s.src_ptrs[r]);
-    std::memcpy(recv.data() + r * send.size(), src, send.size_bytes());
+    ZI_CHECK_MSG(t.peer_count(r) == send.size(),
+                 "allgather: unequal send sizes");
+    std::memcpy(recv.data() + r * send.size(),
+                t.peer_data(static_cast<int>(r)), send.size_bytes());
   }
   sync_point("allgather");  // all reads done; send buffers reusable
 }
@@ -506,27 +534,30 @@ void Communicator::allgather(std::span<const T> send, std::span<T> recv) {
 template <typename T>
 void Communicator::reduce_scatter_sum(std::span<const T> send,
                                       std::span<T> recv) {
-  auto& s = *shared_;
-  const auto n = static_cast<std::size_t>(s.num_ranks);
+  auto& t = *transport_;
+  const auto n = static_cast<std::size_t>(t.size());
   ZI_CHECK_MSG(send.size() == recv.size() * n,
                "reduce_scatter: send " << send.size() << " != recv "
                                        << recv.size() << " * " << n);
   ZI_TRACE_SPAN("comm", "reduce_scatter",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
   enter_collective("reduce_scatter");
-  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
-  s.traffic.reduce_scatter_bytes.fetch_add(send.size_bytes(),
-                                           std::memory_order_relaxed);
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
+  t.traffic().collectives.fetch_add(1, std::memory_order_relaxed);
+  t.traffic().reduce_scatter_bytes.fetch_add(send.size_bytes(),
+                                             std::memory_order_relaxed);
+  t.publish(send.data(), send.size_bytes(), send.size());
   sync_point("reduce_scatter");
   // Each rank reduces its own chunk: ascending rank order, fp32 accumulation.
+  std::vector<const T*> srcs(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    srcs[r] = static_cast<const T*>(t.peer_data(static_cast<int>(r)));
+  }
   const std::size_t chunk = recv.size();
   const std::size_t base = static_cast<std::size_t>(rank_) * chunk;
   for (std::size_t i = 0; i < chunk; ++i) {
     float acc = 0.0f;
     for (std::size_t r = 0; r < n; ++r) {
-      const T* src = static_cast<const T*>(s.src_ptrs[r]);
-      acc += load_as_float(src + base + i);
+      acc += load_as_float(srcs[r] + base + i);
     }
     store_from_float(recv.data() + i, acc);
   }
@@ -535,64 +566,68 @@ void Communicator::reduce_scatter_sum(std::span<const T> send,
 
 template <typename T>
 void Communicator::allreduce_sum(std::span<T> data) {
-  auto& s = *shared_;
-  const auto n = static_cast<std::size_t>(s.num_ranks);
+  auto& t = *transport_;
+  const auto n = static_cast<std::size_t>(t.size());
   ZI_TRACE_SPAN("comm", "allreduce",
                 "\"bytes\":" + std::to_string(data.size_bytes()));
   enter_collective("allreduce");
-  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
-  s.traffic.allreduce_bytes.fetch_add(data.size_bytes(),
-                                      std::memory_order_relaxed);
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = data.data();
-  s.counts[static_cast<std::size_t>(rank_)] = data.size();
+  t.traffic().collectives.fetch_add(1, std::memory_order_relaxed);
+  t.traffic().allreduce_bytes.fetch_add(data.size_bytes(),
+                                        std::memory_order_relaxed);
+  t.publish(data.data(), data.size_bytes(), data.size());
   sync_point("allreduce");
   // Partition the index space; each rank reduces its slice into a private
   // scratch, then writes back after a barrier (in-place allreduce).
   const std::size_t total = data.size();
+  std::vector<const T*> srcs(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ZI_CHECK(t.peer_count(r) == total);
+    srcs[r] = static_cast<const T*>(t.peer_data(static_cast<int>(r)));
+  }
   const std::size_t lo = total * static_cast<std::size_t>(rank_) / n;
   const std::size_t hi = total * (static_cast<std::size_t>(rank_) + 1) / n;
   std::vector<float> scratch(hi - lo);
   for (std::size_t i = lo; i < hi; ++i) {
     float acc = 0.0f;
     for (std::size_t r = 0; r < n; ++r) {
-      ZI_CHECK(s.counts[r] == total);
-      const T* src = static_cast<const T*>(s.src_ptrs[r]);
-      acc += load_as_float(src + i);
+      acc += load_as_float(srcs[r] + i);
     }
     scratch[i - lo] = acc;
   }
   sync_point("allreduce");  // all slices reduced before anyone overwrites
   // Every rank writes its slice into every rank's buffer.
   for (std::size_t r = 0; r < n; ++r) {
-    T* dst = static_cast<T*>(const_cast<void*>(s.src_ptrs[r]));
+    T* dst = static_cast<T*>(t.peer_data_mut(static_cast<int>(r)));
     for (std::size_t i = lo; i < hi; ++i) {
       store_from_float(dst + i, scratch[i - lo]);
     }
   }
   sync_point("allreduce");
+  // Pull this rank's reduced buffer back out of the transport (no-op when
+  // peers wrote into `data` directly, i.e. inproc).
+  t.readback(data.data(), data.size_bytes());
 }
 
 template <typename T>
 void Communicator::gather(std::span<const T> send, std::span<T> recv,
                           int root) {
-  auto& s = *shared_;
-  const auto n = static_cast<std::size_t>(s.num_ranks);
-  ZI_CHECK(root >= 0 && root < s.num_ranks);
+  auto& t = *transport_;
+  const auto n = static_cast<std::size_t>(t.size());
+  ZI_CHECK(root >= 0 && root < t.size());
   if (rank_ == root) {
     ZI_CHECK_MSG(recv.size() == send.size() * n, "gather: recv size mismatch");
   }
   ZI_TRACE_SPAN("comm", "gather",
                 "\"bytes\":" + std::to_string(send.size_bytes()));
   enter_collective("gather");
-  s.traffic.collectives.fetch_add(1, std::memory_order_relaxed);
-  s.src_ptrs[static_cast<std::size_t>(rank_)] = send.data();
-  s.counts[static_cast<std::size_t>(rank_)] = send.size();
+  t.traffic().collectives.fetch_add(1, std::memory_order_relaxed);
+  t.publish(send.data(), send.size_bytes(), send.size());
   sync_point("gather");
   if (rank_ == root) {
     for (std::size_t r = 0; r < n; ++r) {
-      ZI_CHECK(s.counts[r] == send.size());
-      std::memcpy(recv.data() + r * send.size(), s.src_ptrs[r],
-                  send.size_bytes());
+      ZI_CHECK(t.peer_count(r) == send.size());
+      std::memcpy(recv.data() + r * send.size(),
+                  t.peer_data(static_cast<int>(r)), send.size_bytes());
     }
   }
   sync_point("gather");

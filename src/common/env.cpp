@@ -1,0 +1,59 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace zi {
+
+namespace {
+
+[[noreturn]] void throw_invalid(const char* name, const char* value,
+                                const char* expected) {
+  throw Error(std::string(name) + "='" + value + "' is not " + expected +
+              " (the whole value must parse; no suffixes or units)");
+}
+
+}  // namespace
+
+double getenv_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  double out = 0.0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, out);
+  if (ec != std::errc() || ptr != end) {
+    throw_invalid(name, v, "a valid number");
+  }
+  return out;
+}
+
+std::uint64_t getenv_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::uint64_t out = 0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, out, 10);
+  if (ec != std::errc() || ptr != end) {
+    throw_invalid(name, v, "a valid base-10 unsigned integer");
+  }
+  return out;
+}
+
+bool getenv_bool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  throw_invalid(name, v, "a valid boolean (0/1/true/false/on/off/yes/no)");
+}
+
+}  // namespace zi

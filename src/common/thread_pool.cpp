@@ -1,9 +1,22 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+#include <new>
+
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace zi {
+
+namespace {
+
+// Registry of live pools so a forked rank subprocess can respawn their
+// workers (restart_all_after_fork). Touched only in ctor/dtor and right
+// after fork, all points where no pool is concurrently mutating.
+Mutex g_registry_mutex{"ThreadPool::registry_mutex"};
+std::vector<ThreadPool*> g_registry ZI_GUARDED_BY(g_registry_mutex);
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
     : name_(std::move(name)) {
@@ -17,15 +30,64 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
       worker_loop();
     });
   }
+  LockGuard lock(g_registry_mutex);
+  g_registry.push_back(this);
 }
 
 ThreadPool::~ThreadPool() {
+  {
+    LockGuard lock(g_registry_mutex);
+    g_registry.erase(std::remove(g_registry.begin(), g_registry.end(), this),
+                     g_registry.end());
+  }
   {
     LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::restart_all_after_fork() {
+  LockGuard lock(g_registry_mutex);
+  for (ThreadPool* pool : g_registry) pool->restart_after_fork();
+}
+
+void ThreadPool::restart_after_fork() {
+  // The parent's worker threads do not exist in this process; the inherited
+  // std::thread handles are stale. Detach them (never join a thread that is
+  // not ours), clear the counters a mid-fork snapshot may have smeared, and
+  // spawn fresh workers. Queued tasks survive and run on the new workers.
+  const std::size_t num_threads = workers_.size();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.detach();
+  }
+  workers_.clear();
+  // The parent's idle workers were blocked *inside* cv_task_.wait() at fork
+  // time, so the inherited pthread condvar (and possibly mutex) state
+  // carries stale waiter accounting — a notify in this process can wake a
+  // ghost waiter and be lost, wedging the new workers forever. Abandon that
+  // state and construct fresh primitives in place (running the destructor
+  // on a condvar with waiters is UB; placement-new over it is the
+  // fork-safe move). Single-threaded here, so the unguarded writes are
+  // safe.
+  new (&mutex_) Mutex("ThreadPool::mutex_");
+  new (&cv_task_) CondVar();
+  new (&cv_idle_) CondVar();
+  {
+    LockGuard lock(mutex_);
+    active_ = 0;
+    stop_ = false;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] {
+      if (!name_.empty()) {
+        Tracer::set_thread_name(name_ + std::to_string(i));
+      }
+      worker_loop();
+    });
+  }
 }
 
 void ThreadPool::enqueue(std::function<void()> fn) {

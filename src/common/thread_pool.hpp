@@ -52,8 +52,18 @@ class ThreadPool {
   /// Total tasks executed since construction (for engine statistics).
   std::uint64_t tasks_completed() const ZI_EXCLUDES(mutex_);
 
+  /// Respawn the workers of every live ThreadPool in this process. A forked
+  /// child inherits pool objects but none of the parent's worker threads, so
+  /// a rank subprocess (proc transport) must call this once right after
+  /// fork() or every submit() would queue forever. Only safe when the pools
+  /// were quiescent at fork time — no task mid-run, no concurrent
+  /// enqueue/construction — which the proc launcher guarantees by forking
+  /// before any rank work starts.
+  static void restart_all_after_fork();
+
  private:
   void worker_loop() ZI_EXCLUDES(mutex_);
+  void restart_after_fork();
 
   std::string name_;  ///< immutable after construction
   mutable Mutex mutex_{"ThreadPool::mutex_"};

@@ -37,7 +37,10 @@ void fsync_parent_dir(const std::string& path) {
   ::close(fd);
 }
 
-/// Durably write a small text file: tmp + fsync + rename.
+/// Durably write a small text file: tmp + fsync + rename + parent fsync.
+/// Self-contained durability — callers need no follow-up fsync — and every
+/// error path unlinks the tmp file so a failed write leaves no litter for
+/// recovery scans to trip over.
 void atomic_write_text(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -51,6 +54,7 @@ void atomic_write_text(const std::string& path, const std::string& text) {
       if (errno == EINTR) continue;
       const int err = errno;
       ::close(fd);
+      ::unlink(tmp.c_str());
       throw IoError("write(" + tmp + "): " + std::strerror(err), err);
     }
     off += static_cast<std::size_t>(n);
@@ -58,10 +62,17 @@ void atomic_write_text(const std::string& path, const std::string& text) {
   if (::fsync(fd) != 0) {
     const int err = errno;
     ::close(fd);
+    ::unlink(tmp.c_str());
     throw IoError("fsync(" + tmp + "): " + std::strerror(err), err);
   }
   ::close(fd);
-  fs::rename(tmp, path);
+  try {
+    fs::rename(tmp, path);
+    fsync_parent_dir(path);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
 }
 
 }  // namespace
@@ -82,19 +93,30 @@ std::string ckpt_manifest_path(const std::string& path) {
 void write_checkpoint_file(AioEngine& aio, const std::string& path,
                            std::span<const std::byte> blob) {
   const std::string tmp = path + ".tmp";
-  AioFile* f = aio.open(tmp);
-  f->resize(blob.size());
-  aio.write(f, 0, blob);
-  f->sync();
-  fs::rename(tmp, path);
+  // Any failure between open and rename (resize, an exhausted-retry write,
+  // the sync, the rename itself) must not leak the tmp file: a later run's
+  // recovery scan would find a half-written <path>.tmp next to intact
+  // checkpoints. AioEngine::open never dedups by path, so a retry after the
+  // unlink gets a fresh descriptor.
+  try {
+    AioFile* f = aio.open(tmp);
+    f->resize(blob.size());
+    aio.write(f, 0, blob);
+    f->sync();
+    fs::rename(tmp, path);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
   fsync_parent_dir(path);
 
   std::ostringstream manifest;
   manifest << kManifestHeader << "\n"
            << "bytes " << blob.size() << "\n"
            << "fnv1a64 " << std::hex << ckpt_checksum(blob) << "\n";
+  // atomic_write_text is durable on its own (tmp + fsync + rename + parent
+  // fsync), so the manifest needs no extra fsync here.
   atomic_write_text(ckpt_manifest_path(path), manifest.str());
-  fsync_parent_dir(path);
 }
 
 std::vector<std::byte> read_checkpoint_file(AioEngine& aio,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
@@ -10,6 +11,55 @@ namespace zi {
 
 namespace {
 std::atomic<std::uint64_t> g_elastic_restarts{0};
+
+// Rank 0's results travel through Communicator::set_result so they survive
+// the proc transport, where the rank body runs in a forked subprocess and
+// by-reference lambda captures never reach the supervisor. Binary
+// serialization (memcpy of the float bits) keeps resumed losses bit-exact
+// across the boundary — the elastic tests compare them to an uninterrupted
+// control run.
+void append_raw(std::string* out, const void* p, std::size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+
+std::string encode_result(std::int64_t resumed_step,
+                          const TrainerReport& report) {
+  std::string out;
+  append_raw(&out, &resumed_step, sizeof(resumed_step));
+  append_raw(&out, &report.skipped_steps, sizeof(report.skipped_steps));
+  append_raw(&out, &report.checkpoints_written,
+             sizeof(report.checkpoints_written));
+  const std::uint64_t n_train = report.train_losses.size();
+  const std::uint64_t n_eval = report.eval_losses.size();
+  append_raw(&out, &n_train, sizeof(n_train));
+  append_raw(&out, report.train_losses.data(), n_train * sizeof(float));
+  append_raw(&out, &n_eval, sizeof(n_eval));
+  append_raw(&out, report.eval_losses.data(), n_eval * sizeof(float));
+  return out;
+}
+
+void decode_result(const std::string& in, std::int64_t* resumed_step,
+                   TrainerReport* report) {
+  std::size_t off = 0;
+  const auto read_raw = [&](void* p, std::size_t n) {
+    ZI_CHECK_MSG(off + n <= in.size(),
+                 "elastic: truncated rank-0 result payload");
+    std::memcpy(p, in.data() + off, n);
+    off += n;
+  };
+  read_raw(resumed_step, sizeof(*resumed_step));
+  read_raw(&report->skipped_steps, sizeof(report->skipped_steps));
+  read_raw(&report->checkpoints_written,
+           sizeof(report->checkpoints_written));
+  std::uint64_t n_train = 0;
+  read_raw(&n_train, sizeof(n_train));
+  report->train_losses.resize(n_train);
+  read_raw(report->train_losses.data(), n_train * sizeof(float));
+  std::uint64_t n_eval = 0;
+  read_raw(&n_eval, sizeof(n_eval));
+  report->eval_losses.resize(n_eval);
+  read_raw(report->eval_losses.data(), n_eval * sizeof(float));
+}
 }  // namespace
 
 std::uint64_t elastic_restart_count() noexcept {
@@ -45,10 +95,12 @@ ElasticReport run_elastic(const ElasticConfig& config,
           const std::int64_t resumed = trainer.try_resume();
           TrainerReport out = trainer.run();
           if (comm.rank() == 0) {
-            trainer_report = std::move(out);
-            resumed_step = resumed;
+            comm.set_result(encode_result(resumed, out));
           }
         });
+    if (!wr.rank_payloads.empty() && !wr.rank_payloads.front().empty()) {
+      decode_result(wr.rank_payloads.front(), &resumed_step, &trainer_report);
+    }
     attempt.resumed_step = resumed_step;
     if (wr.ok) {
       attempt.completed = true;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
@@ -18,16 +19,6 @@ std::uint64_t steady_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-}
-
-std::uint64_t env_u64(const char* v, std::uint64_t fallback) {
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtoull(v, nullptr, 10);
-}
-
-bool env_flag(const char* v, bool fallback) {
-  if (v == nullptr || *v == '\0') return fallback;
-  return !(v[0] == '0' && v[1] == '\0');
 }
 
 }  // namespace
@@ -49,18 +40,17 @@ AioStatus NvmeSchedBackend::issue(const SchedOp& op,
 
 TransferScheduler::Config TransferScheduler::Config::from_env() {
   Config c;
-  c.enabled = env_flag(std::getenv("ZI_MOVE_SCHED"), c.enabled);
-  c.coalesce = env_flag(std::getenv("ZI_MOVE_COALESCE"), c.coalesce);
-  c.max_merge_bytes =
-      env_u64(std::getenv("ZI_MOVE_MAX_MERGE_BYTES"), c.max_merge_bytes);
+  c.enabled = getenv_bool("ZI_MOVE_SCHED", c.enabled);
+  c.coalesce = getenv_bool("ZI_MOVE_COALESCE", c.coalesce);
+  c.max_merge_bytes = getenv_u64("ZI_MOVE_MAX_MERGE_BYTES", c.max_merge_bytes);
   c.max_inflight = static_cast<std::size_t>(
-      env_u64(std::getenv("ZI_MOVE_MAX_INFLIGHT"), c.max_inflight));
-  c.starvation_bound = static_cast<int>(
-      env_u64(std::getenv("ZI_MOVE_STARVATION_BOUND"),
-              static_cast<std::uint64_t>(c.starvation_bound)));
+      getenv_u64("ZI_MOVE_MAX_INFLIGHT", c.max_inflight));
+  const std::uint64_t starve = getenv_u64("ZI_MOVE_STARVATION_BOUND",
+      static_cast<std::uint64_t>(c.starvation_bound));
+  c.starvation_bound = static_cast<int>(starve);
   // Rates come in MB/s (0 = unlimited); only the NVMe routes are scheduled.
-  const std::uint64_t fetch_mbps = env_u64(std::getenv("ZI_MOVE_FETCH_MBPS"), 0);
-  const std::uint64_t spill_mbps = env_u64(std::getenv("ZI_MOVE_SPILL_MBPS"), 0);
+  const std::uint64_t fetch_mbps = getenv_u64("ZI_MOVE_FETCH_MBPS", 0);
+  const std::uint64_t spill_mbps = getenv_u64("ZI_MOVE_SPILL_MBPS", 0);
   c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kNvmeFetch)] =
       fetch_mbps * 1000 * 1000;
   c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kNvmeSpill)] =

@@ -24,6 +24,9 @@
 //                          bounded "slow rank" (delay kind + delay_us)
 //   collective_delay       Communicator collective entry: plain latency
 //                          (delay kind) without stopping heartbeats
+//   proc_kill              Communicator collective entry: SIGKILL the rank's
+//                          own process (error kind; proc transport only — an
+//                          in-process world degrades it to a thrown crash)
 //
 // Determinism: every site keeps an operation ordinal, and a rule's fire
 // decision for ordinal i is a pure function of (seed, site, rule index, i)
@@ -59,8 +62,9 @@ enum class FaultSite : int {
   kRankCrash,
   kRankStall,
   kCollectiveDelay,
+  kProcKill,
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 9;
 
 const char* fault_site_name(FaultSite site);
 /// Parses "aio_read" etc.; throws zi::Error on unknown names.

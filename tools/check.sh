@@ -8,6 +8,7 @@
 #   tools/check.sh tidy            # clang-tidy over src/ (needs clang-tidy)
 #   tools/check.sh build           # plain build + full ctest, ZI_WERROR=ON
 #   tools/check.sh sched           # transfer-scheduler suites only (fast loop)
+#   tools/check.sh transport       # Communicator transport suites (inproc+proc)
 #   tools/check.sh tsan            # ZI_SANITIZE=thread build + concurrency tests
 #   tools/check.sh asan            # ZI_SANITIZE=address build + full ctest
 #   tools/check.sh ubsan           # ZI_SANITIZE=undefined build + full ctest
@@ -86,6 +87,20 @@ run_sched() {
     -R 'move_sched|data_mover') || FAILED=1
 }
 
+# Tight loop for transport work: the conformance suite over both backends
+# plus the comm suites, on a plain build (the proc backend forks, so its
+# tests skip themselves under TSan — this is the loop that actually runs
+# them). Shares the plain build tree so a follow-up `build` is warm.
+run_transport() {
+  local build="build-check-plain"
+  note "transport (test_transport + test_comm + test_comm_failure)"
+  cmake -B "$build" -S . -DZI_WERROR=ON >/dev/null
+  cmake --build "$build" -j "$JOBS" \
+    --target test_transport test_comm test_comm_failure
+  (cd "$build" && ctest --output-on-failure -j "$JOBS" -L transport) \
+    || FAILED=1
+}
+
 # $1: mode name, $2: ZI_SANITIZE value ('' = off), $3: ctest label ('' = all)
 run_build() {
   local mode="$1" sanitize="$2" label="$3"
@@ -109,13 +124,14 @@ for step in "${STEPS[@]}"; do
     tidy)   run_tidy ;;
     build)  run_build plain "" "" ;;
     sched)  run_sched ;;
+    transport) run_transport ;;
     # TSan: the concurrency-labeled subset (comm / aio / thread pool /
     # stress / lock tracker) — the full suite under TSan takes too long for
     # a pre-commit loop; CI runs the same subset.
     tsan)   run_build tsan thread concurrency ;;
     asan)   run_build asan address "" ;;
     ubsan)  run_build ubsan undefined "" ;;
-    *) echo "unknown step: $step (known: ${ALL[*]} sched)"; exit 2 ;;
+    *) echo "unknown step: $step (known: ${ALL[*]} sched transport)"; exit 2 ;;
   esac
 done
 
