@@ -669,7 +669,15 @@ void hub_handle_frame(Hub& hub, int global, const Frame& f,
         Frame r;
         r.type = kRelease;
         for (int m : g.waiting) {
-          hub_reply(hub, g.globals[static_cast<std::size_t>(m)], r);
+          const int waiter_global = g.globals[static_cast<std::size_t>(m)];
+          // Clear the park before replying, like every other unpark path —
+          // a stale Park::kBarrier would make hub_sweep_deadlines (or a
+          // later poison) send an unsolicited frame to a released rank,
+          // desyncing its one-outstanding-request reply stream.
+          HubChild& waiter = hub.kids[static_cast<std::size_t>(waiter_global)];
+          waiter.park = HubChild::Park::kNone;
+          waiter.park_deadline = CommClock::time_point::max();
+          hub_reply(hub, waiter_global, r);
         }
         g.waiting.clear();
         hub_reply(hub, global, r);
@@ -993,19 +1001,35 @@ WorldReport run_world_proc(int num_ranks, const WorldOptions& options,
   }
 
   // Launch: one socketpair + fork per rank. The child closes every fd that
-  // is not its own channel; the parent closes the child ends.
+  // is not its own channel; the parent closes the child ends. On a partial
+  // launch failure the already-forked children must be killed and reaped
+  // here: they would otherwise wedge on child_request waiting for a hub
+  // that never polls (PDEATHSIG fires on parent death, not on a throw).
+  auto launch_failed = [&](const char* op, int err) -> IoError {
+    for (int p = 0; p < num_ranks; ++p) {
+      HubChild& kid = hub.kids[static_cast<std::size_t>(p)];
+      if (kid.pid > 0) {
+        (void)::kill(kid.pid, SIGKILL);
+        (void)::waitpid(kid.pid, nullptr, 0);
+      }
+      if (kid.fd >= 0) ::close(kid.fd);
+    }
+    ::munmap(hub.shm.base, hub.shm.total);
+    return IoError(std::string("proc transport: ") + op + ": " +
+                       std::strerror(err),
+                   err);
+  };
   for (int r = 0; r < num_ranks; ++r) {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-      throw IoError(std::string("proc transport: socketpair: ") +
-                        std::strerror(errno),
-                    errno);
+      throw launch_failed("socketpair", errno);
     }
     const pid_t pid = ::fork();
     if (pid < 0) {
-      throw IoError(std::string("proc transport: fork: ") +
-                        std::strerror(errno),
-                    errno);
+      const int err = errno;
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw launch_failed("fork", err);
     }
     if (pid == 0) {
       ::close(sv[0]);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -26,8 +27,11 @@ double getenv_f64(const char* name, double fallback) {
   double out = 0.0;
   const char* end = v + std::strlen(v);
   const auto [ptr, ec] = std::from_chars(v, end, out);
-  if (ec != std::errc() || ptr != end) {
-    throw_invalid(name, v, "a valid number");
+  // from_chars accepts 'inf'/'nan'; a NaN here would make every deadline
+  // comparison silently false — exactly the misconfiguration class this
+  // helper exists to reject.
+  if (ec != std::errc() || ptr != end || !std::isfinite(out)) {
+    throw_invalid(name, v, "a finite number");
   }
   return out;
 }

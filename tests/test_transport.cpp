@@ -315,6 +315,28 @@ TEST_P(TransportConformance, BarrierTimeoutBlamesTheMissingRank) {
   EXPECT_NE(wr.errors[0].find("rank 1"), std::string::npos) << wr.errors[0];
 }
 
+TEST_P(TransportConformance, ReleasedBarrierWaiterOutlivesItsOldDeadline) {
+  // Regression: the proc hub used to release barrier waiters without
+  // clearing their parked state, so a compute phase longer than timeout_ms
+  // *after* a successful barrier made the deadline sweep fire on the stale
+  // park and send an unsolicited timeout frame — poisoning a healthy world
+  // and desyncing the released rank's reply stream.
+  const WorldReport wr =
+      run_world_guarded(2, opts(400.0), [](Communicator& comm) {
+        // Stagger arrivals so rank 0 genuinely parks (deadline armed).
+        if (comm.rank() == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        }
+        comm.barrier();
+        // Compute phase longer than the timeout: the old deadline expires
+        // while nobody is waiting on anything.
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        comm.barrier();
+      });
+  EXPECT_TRUE(wr.ok) << (wr.errors.empty() ? "" : wr.errors[0]);
+  EXPECT_TRUE(wr.failed_ranks.empty());
+}
+
 TEST_P(TransportConformance, ProcKillFaultSiteFiresPerBackend) {
   // proc_kill at rank 1's 4th collective entry: a real SIGKILL under the
   // proc backend, a degraded thrown crash in-process. Either way the world
@@ -410,6 +432,12 @@ TEST(WorldOptionsFromEnv, RejectsGarbageFloat) {
   guard.set("fast");
   EXPECT_THROW((void)WorldOptions::from_env(), Error);
   guard.set("12.5ms");  // trailing unit must not silently truncate
+  EXPECT_THROW((void)WorldOptions::from_env(), Error);
+  // from_chars parses these as valid doubles; a NaN timeout makes every
+  // deadline comparison false, so non-finite values must be rejected too.
+  guard.set("nan");
+  EXPECT_THROW((void)WorldOptions::from_env(), Error);
+  guard.set("inf");
   EXPECT_THROW((void)WorldOptions::from_env(), Error);
 }
 
