@@ -1,9 +1,12 @@
 #include "comm/world.hpp"
 
 #include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <sstream>
@@ -60,6 +63,8 @@ const char* world_fail_kind_name(WorldFailKind kind) noexcept {
       return "timeout";
     case WorldFailKind::kStall:
       return "stall";
+    case WorldFailKind::kStraggler:
+      return "straggler";
   }
   return "?";
 }
@@ -77,6 +82,10 @@ WorldOptions WorldOptions::from_env() {
       static_cast<std::size_t>(getenv_u64("ZI_P2P_CAP_MSGS", o.p2p_capacity_messages));
   o.proc_shm_mb =
       static_cast<std::size_t>(getenv_u64("ZI_PROC_SHM_MB", o.proc_shm_mb));
+  o.straggler_factor = getenv_f64("ZI_STRAGGLER_FACTOR", o.straggler_factor);
+  o.straggler_steps = static_cast<int>(
+      getenv_u64("ZI_STRAGGLER_STEPS",
+                 static_cast<std::uint64_t>(o.straggler_steps)));
   if (const char* e = std::getenv("ZI_TRANSPORT"); e != nullptr && *e) {
     const std::string v(e);
     if (v == "inproc") {
@@ -100,9 +109,23 @@ WorldHealth::WorldHealth(int num_ranks)
   for (auto& r : ranks_) r.beat_ns.store(t0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Monotonic max on an atomic (fetch_max is C++26; a CAS loop is portable).
+void fetch_max_i64(std::atomic<std::int64_t>& a, std::int64_t v) noexcept {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void WorldHealth::beat(int rank) noexcept {
-  ranks_[static_cast<std::size_t>(rank)].beat_ns.store(
-      detail::comm_now_ns(), std::memory_order_relaxed);
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  const std::int64_t now = detail::comm_now_ns();
+  const std::int64_t prev = pr.beat_ns.exchange(now, std::memory_order_relaxed);
+  if (now > prev) fetch_max_i64(pr.max_gap_ns, now - prev);
 }
 
 std::int64_t WorldHealth::beat_ns(int rank) const noexcept {
@@ -111,8 +134,33 @@ std::int64_t WorldHealth::beat_ns(int rank) const noexcept {
 }
 
 void WorldHealth::mirror_beat_ns(int rank, std::int64_t ns) noexcept {
-  ranks_[static_cast<std::size_t>(rank)].beat_ns.store(
-      ns, std::memory_order_relaxed);
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  const std::int64_t prev = pr.beat_ns.exchange(ns, std::memory_order_relaxed);
+  // Mirrored timestamps only move the watermark when the beat actually
+  // advanced (the proc backend re-mirrors unchanged beats every poll).
+  if (ns > prev) fetch_max_i64(pr.max_gap_ns, ns - prev);
+}
+
+double WorldHealth::max_heartbeat_gap_ms(int rank) const noexcept {
+  return static_cast<double>(ranks_[static_cast<std::size_t>(rank)]
+                                 .max_gap_ns.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+void WorldHealth::record_straggler(int rank) noexcept {
+  int expected = -1;  // first verdict wins, mirroring record_failure
+  straggler_.compare_exchange_strong(expected, rank,
+                                     std::memory_order_acq_rel);
+}
+
+void WorldHealth::note_step_ewma(int rank, double seconds) noexcept {
+  ranks_[static_cast<std::size_t>(rank)].ewma_bits.store(
+      std::bit_cast<std::int64_t>(seconds), std::memory_order_relaxed);
+}
+
+double WorldHealth::step_ewma_s(int rank) const noexcept {
+  return std::bit_cast<double>(ranks_[static_cast<std::size_t>(rank)]
+                                   .ewma_bits.load(std::memory_order_relaxed));
 }
 
 double WorldHealth::heartbeat_age_ms(int rank) const noexcept {
@@ -170,6 +218,50 @@ std::string WorldHealth::failure_what() const {
 }
 
 // ---------------------------------------------------------------------------
+// StragglerDetector
+
+StragglerDetector::StragglerDetector(int world, double factor, int steps)
+    : factor_(factor),
+      steps_(steps),
+      ewma_(static_cast<std::size_t>(world), 0.0),
+      streak_(static_cast<std::size_t>(world), 0) {
+  ZI_CHECK(world > 0);
+}
+
+int StragglerDetector::observe(std::span<const double> step_seconds) {
+  ZI_CHECK_MSG(step_seconds.size() == ewma_.size(),
+               "StragglerDetector: expected " << ewma_.size()
+                                              << " per-rank step times, got "
+                                              << step_seconds.size());
+  if (verdict_ >= 0) return verdict_;  // latched
+  const std::size_t n = ewma_.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    ewma_[r] = seeded_ ? 0.5 * ewma_[r] + 0.5 * step_seconds[r]
+                       : step_seconds[r];
+  }
+  seeded_ = true;
+  if (factor_ <= 0.0 || steps_ <= 0 || n < 2) return -1;
+  // Lower median (index (n-1)/2): deterministic, and in a small world it
+  // keeps a single straggler from dragging the threshold up toward itself.
+  std::vector<double> sorted(ewma_);
+  const std::size_t mid = (n - 1) / 2;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  const double median = sorted[mid];
+  for (std::size_t r = 0; r < n; ++r) {
+    if (median > 0.0 && ewma_[r] > factor_ * median) {
+      if (++streak_[r] >= steps_ && verdict_ < 0) {
+        verdict_ = static_cast<int>(r);  // lowest qualifying rank wins
+      }
+    } else {
+      streak_[r] = 0;
+    }
+  }
+  return verdict_;
+}
+
+// ---------------------------------------------------------------------------
 // Communicator failure plumbing
 
 namespace detail {
@@ -223,6 +315,39 @@ void Communicator::enter_collective(const char* op) {
                   std::to_string(global_rank_) + " entering '" + op +
                   "' (in-process world: degraded to a thrown crash)");
     }
+    const FaultDecision pstall =
+        fault_check(FaultSite::kProcStall, global_rank_);
+    if (pstall.delay_us > 0) {
+      if (t.out_of_process()) {
+        // A real OS-level freeze: SIGSTOP this rank's process for delay_us,
+        // with a forked helper delivering the wakeup SIGCONT (a stopped
+        // process cannot resume itself). Every thread of the rank — comm,
+        // AIO, heartbeat — halts, so peers see a silent heartbeat gap
+        // exactly as if the node were preempted or oversubscribed.
+        const pid_t self = ::getpid();
+        const pid_t helper = ::fork();
+        if (helper == 0) {
+          struct timespec ts;
+          ts.tv_sec = static_cast<time_t>(pstall.delay_us / 1000000);
+          ts.tv_nsec = static_cast<long>((pstall.delay_us % 1000000) * 1000);
+          ::nanosleep(&ts, nullptr);
+          ::kill(self, SIGCONT);
+          ::_exit(0);
+        }
+        if (helper > 0) {
+          ::raise(SIGSTOP);
+          int status = 0;
+          ::waitpid(helper, &status, 0);
+        } else {
+          injected_stall(op, pstall.delay_us);  // fork failed: cooperative
+        }
+      } else {
+        // In-process world: one rank thread cannot be SIGSTOPped without
+        // freezing its peers too; degrade to the cooperative rank_stall
+        // freeze so the same fault spec stays usable on both backends.
+        injected_stall(op, pstall.delay_us);
+      }
+    }
     const FaultDecision stall =
         fault_check(FaultSite::kRankStall, global_rank_);
     if (stall.error || stall.delay_us > 0) injected_stall(op, stall.delay_us);
@@ -257,7 +382,10 @@ void Communicator::sync_point(const char* op) {
   auto& t = *transport_;
   int suspect = -1;
   std::uint64_t epoch = 0;
+  const CommClock::time_point wait_t0 = CommClock::now();
   const detail::WaitOutcome res = t.sync(&suspect, &epoch);
+  sync_wait_seconds_ +=
+      std::chrono::duration<double>(CommClock::now() - wait_t0).count();
   if (res == detail::WaitOutcome::kOk) return;
   if (res == detail::WaitOutcome::kTimeout) {
     std::ostringstream os;

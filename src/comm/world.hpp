@@ -79,6 +79,9 @@ enum class WorldFailKind : int {
   kException,  ///< a rank exited its body via a non-comm exception
   kTimeout,    ///< a comm op timed out waiting for a peer
   kStall,      ///< the watchdog saw a rank's heartbeat stop
+  kStraggler,  ///< sustained-slow verdict: the rank ran, but far behind the
+               ///< median (recorded as an observation, never a poison; the
+               ///< elastic supervisor uses it to rebalance, not to shrink)
 };
 
 const char* world_fail_kind_name(WorldFailKind kind) noexcept;
@@ -117,6 +120,14 @@ struct WorldOptions {
   /// segment, in MiB. A collective whose per-rank contribution exceeds this
   /// fails fast with a descriptive error.
   std::size_t proc_shm_mb = 64;
+  /// Straggler detection: a rank whose step-time EWMA exceeds
+  /// straggler_factor × the median EWMA for straggler_steps consecutive
+  /// steps draws a kStraggler verdict (observation only — the world is
+  /// never poisoned for being slow). <= 0 factor: detection off. The
+  /// trainer adds one tiny allgather per step while detection is on.
+  double straggler_factor = 0.0;
+  /// Consecutive over-threshold steps before the verdict fires.
+  int straggler_steps = 3;
 
   /// True when any deadline-based detection is active (timed waits tick so
   /// blocked ranks keep their heartbeats fresh for the watchdog).
@@ -125,8 +136,14 @@ struct WorldOptions {
            (watchdog_interval_ms > 0.0 && stall_threshold_ms > 0.0);
   }
 
+  /// True when the trainer should time steps and run the straggler detector.
+  bool straggler_detection_enabled() const noexcept {
+    return straggler_factor > 0.0 && straggler_steps > 0;
+  }
+
   /// Defaults overridden by ZI_COMM_TIMEOUT_MS / ZI_P2P_CAP_BYTES /
-  /// ZI_P2P_CAP_MSGS / ZI_TRANSPORT / ZI_PROC_SHM_MB when set. Values are
+  /// ZI_P2P_CAP_MSGS / ZI_TRANSPORT / ZI_PROC_SHM_MB /
+  /// ZI_STRAGGLER_FACTOR / ZI_STRAGGLER_STEPS when set. Values are
   /// parsed strictly (full-string match) — a typo like ZI_P2P_CAP_BYTES=4gb
   /// throws instead of silently configuring a zero-capacity channel. Unit
   /// tests that never set them get the legacy wait-forever semantics.
@@ -153,11 +170,19 @@ class WorldHealth {
   int num_ranks() const noexcept { return static_cast<int>(ranks_.size()); }
 
   /// Refresh `rank`'s heartbeat to "now". Called on every collective entry,
-  /// every timed-wait tick, and once per trainer step.
+  /// every timed-wait tick, and once per trainer step. Also folds the gap
+  /// since the previous beat into the rank's max-gap watermark.
   void beat(int rank) noexcept;
   /// Milliseconds since `rank`'s last beat (a large value before the first).
   double heartbeat_age_ms(int rank) const noexcept;
   double max_heartbeat_age_ms() const noexcept;
+
+  /// Largest observed gap between consecutive beats of `rank` so far, in
+  /// milliseconds (cumulative watermark, never reset). Unlike
+  /// heartbeat_age_ms — a point sample of the currently *open* gap — this
+  /// remembers closed gaps, so a stall that both starts and ends inside one
+  /// trainer step still shows up in that step's report.
+  double max_heartbeat_gap_ms(int rank) const noexcept;
 
   RankStatus status(int rank) const noexcept;
   void mark_done(int rank) noexcept;
@@ -175,6 +200,23 @@ class WorldHealth {
   int culprit_rank() const;
   WorldFailKind fail_kind() const;
   std::string failure_what() const;
+
+  /// Record a kStraggler *observation* (first-write-wins like
+  /// record_failure, but the world is NOT poisoned — peers keep running and
+  /// the training loop winds down cooperatively). The elastic supervisor
+  /// reads it to rebalance instead of shrink.
+  void record_straggler(int rank) noexcept;
+  /// Rank under a kStraggler verdict, or -1.
+  int straggler_rank() const noexcept {
+    return straggler_.load(std::memory_order_acquire);
+  }
+
+  /// Publish `rank`'s step-time EWMA (seconds) — the trainer mirrors the
+  /// detector's state here so supervisors/metrics can read per-rank speed
+  /// without touching trainer internals.
+  void note_step_ewma(int rank, double seconds) noexcept;
+  /// Last published step-time EWMA of `rank` in seconds (0 before any).
+  double step_ewma_s(int rank) const noexcept;
 
   // --- transport-mirror maintenance -------------------------------------
   // Only transport backends call these. Everyone else reports failures via
@@ -195,15 +237,51 @@ class WorldHealth {
   struct PerRank {
     std::atomic<int> status{static_cast<int>(RankStatus::kRunning)};
     std::atomic<std::int64_t> beat_ns{0};
+    std::atomic<std::int64_t> max_gap_ns{0};  ///< watermark over closed gaps
+    /// Step-time EWMA in seconds, stored as raw double bits (atomics over
+    /// doubles aren't lock-free everywhere; int64 bits always are).
+    std::atomic<std::int64_t> ewma_bits{0};
   };
   std::vector<PerRank> ranks_;
   std::atomic<bool> poisoned_{false};
+  std::atomic<int> straggler_{-1};
 
   mutable Mutex mutex_{"WorldHealth::mutex"};
   bool has_failure_ ZI_GUARDED_BY(mutex_) = false;
   int culprit_ ZI_GUARDED_BY(mutex_) = -1;
   WorldFailKind kind_ ZI_GUARDED_BY(mutex_) = WorldFailKind::kNone;
   std::string what_ ZI_GUARDED_BY(mutex_);
+};
+
+/// Online slow-rank detector. Every rank feeds it the full per-rank vector
+/// of step wall times (allgathered, so the bits are identical everywhere)
+/// once per step; a rank whose EWMA stays above factor × median(EWMA) for
+/// `steps` consecutive observations draws a verdict. Pure deterministic
+/// state machine — every rank reaches the same verdict on the same step,
+/// which is what lets the training loop wind down in lockstep without an
+/// extra vote collective.
+class StragglerDetector {
+ public:
+  StragglerDetector(int world, double factor, int steps);
+
+  /// Feed one step's per-rank wall times (seconds; size == world). Returns
+  /// the verdict rank (lowest such rank when several qualify at once), or
+  /// -1. After a verdict the detector latches: further calls keep returning
+  /// the same rank.
+  int observe(std::span<const double> step_seconds);
+
+  /// Current per-rank step-time EWMAs in seconds (α = 0.5; seeded with the
+  /// first observation).
+  const std::vector<double>& ewma() const noexcept { return ewma_; }
+  int verdict() const noexcept { return verdict_; }
+
+ private:
+  double factor_;
+  int steps_;
+  std::vector<double> ewma_;
+  std::vector<int> streak_;
+  bool seeded_ = false;
+  int verdict_ = -1;
 };
 
 namespace detail {
@@ -351,6 +429,10 @@ class Communicator {
   int global_rank() const noexcept { return global_rank_; }
   const CommTraffic& traffic() const noexcept { return transport_->traffic(); }
 
+  /// The world's effective failure-detection knobs (what run_world was
+  /// launched with) — trainers read the straggler thresholds from here.
+  const WorldOptions& options() const noexcept { return transport_->options(); }
+
   /// The split tree's shared health registry (heartbeats, failure record).
   WorldHealth& health() noexcept { return transport_->health(); }
   const WorldHealth& health() const noexcept { return transport_->health(); }
@@ -358,6 +440,12 @@ class Communicator {
   /// Refresh this rank's heartbeat outside comm ops (the trainer beats once
   /// per step so compute-heavy phases don't look like stalls).
   void heartbeat() noexcept { transport_->beat(); }
+
+  /// Cumulative wall time this rank has spent blocked in collective sync
+  /// waits, in seconds. In a lockstep SPMD step every rank's *wall* time
+  /// converges to the slowest rank's — subtracting the waits recovers each
+  /// rank's own busy time, which is what straggler detection must compare.
+  double comm_wait_seconds() const noexcept { return sync_wait_seconds_; }
 
   /// Explicitly poison the world, blaming this rank. Blocked peers unblock
   /// with CommAbortedError; this rank's own next comm op throws too.
@@ -467,6 +555,7 @@ class Communicator {
   int global_rank_;
   std::shared_ptr<detail::Transport> transport_;
   int split_calls_ = 0;  ///< lockstep ordinal for subgroup registry keys
+  double sync_wait_seconds_ = 0.0;  ///< see comm_wait_seconds()
 };
 
 // ---------------------------------------------------------------------------

@@ -178,6 +178,9 @@ void ParamCoordinator::fetch(Parameter* p, bool for_backward) {
     //    every rank moved only 1/dp of the data from slow memory).
     padded.resize(static_cast<std::size_t>(spec.padded_numel()));
     comm_.allgather<half>(shard, padded);
+    // Weighted shards: slots carry unequal real chunks — compact them into
+    // the flat layout the cast below consumes (no-op for uniform specs).
+    compact_gathered<half>(spec, padded);
     stats_.allgather_fp16_elems += shard_n;
   }
 
@@ -352,6 +355,10 @@ void ParamCoordinator::reduce_and_store_grad(Parameter* p) {
   cast_f32_to_f16(p->grad_tensor().span<float>(),
                   std::span<half>(padded.data(),
                                   static_cast<std::size_t>(p->numel())));
+  // Weighted shards: spread the flat gradient into equal collective slots
+  // (zero tails) so the reduce-scatter stays slot-aligned and rank-order
+  // deterministic (no-op for uniform specs).
+  expand_to_slots<half>(spec, padded);
   std::vector<half> shard(static_cast<std::size_t>(spec.shard_elems));
   comm_.reduce_scatter_sum<half>(padded, shard);
   stats_.reduce_scatter_fp16_elems += padded.size();

@@ -11,6 +11,16 @@
 // engine's existing save/load path, and the resumed trajectory is
 // bit-identical to a clean run of the smaller world resumed from the same
 // checkpoint (see test_elastic.cpp).
+//
+// Straggler rebalance: when the world's straggler detector convicts a
+// sustained-slow rank (WorldOptions::straggler_*), the attempt winds down
+// *cleanly* — no poison, no rank lost — and the supervisor relaunches the
+// SAME world size with RankWeights derived from the observed per-rank
+// busy-time EWMAs (throughput ∝ 1/time): the slow rank gets smaller shards
+// and fewer sequences per micro-batch. Crash restarts rebalance too when
+// detection was on, using the last progress payload's EWMAs for the
+// survivors. Resumption stays bit-identical to a control launched
+// statically with the same weights (see test_straggler.cpp).
 #pragma once
 
 #include <cstdint>
@@ -46,10 +56,16 @@ struct ElasticAttempt {
   int world = 0;               ///< rank count this attempt ran with
   std::int64_t resumed_step = 0;  ///< what try_resume() reported (rank 0)
   bool completed = false;
-  int culprit_rank = -1;       ///< world-blamed first failure (-1 if none)
+  /// World-blamed first failure — or, for kind == kStraggler, the convicted
+  /// slow rank (which is alive; ranks_lost stays 0 in that case).
+  int culprit_rank = -1;
   WorldFailKind kind = WorldFailKind::kNone;
   int ranks_lost = 0;          ///< ranks this attempt is charged for losing
   std::string error;           ///< first-failure description
+  /// RankWeights this attempt ran with (empty = uniform). A straggler (or
+  /// detection-on crash) restart fills the *next* attempt's weights from
+  /// observed throughput; tests replay them into a static control world.
+  std::vector<double> rank_weights;
 };
 
 struct ElasticReport {

@@ -37,6 +37,17 @@ ZeroEngine::ZeroEngine(TrainableModel& model, Communicator& comm,
              comm.size()),
       driver_(store_, res_, comm_, config_),
       scaler_(config_.loss_scale) {
+  if (!config_.rank_weights.empty()) {
+    // Weighted (heterogeneous) sharding is defined only where every state
+    // tensor is sliced across all ranks: stages 0-2 copy the flat front of
+    // allgathered buffers, and broadcast mode owns parameters whole.
+    ZI_CHECK_MSG(config_.params_partitioned() && config_.bandwidth_centric,
+                 "rank_weights requires ZeRO stage 3 with bandwidth-centric "
+                 "partitioning");
+    ZI_CHECK_MSG(static_cast<int>(config_.rank_weights.size()) == comm.size(),
+                 "rank_weights size " << config_.rank_weights.size()
+                                      << " != world " << comm.size());
+  }
   if (config_.params_partitioned()) {
     ZI_CHECK_MSG(config_.bandwidth_centric ||
                      config_.optimizer_placement != Placement::kNvme,
@@ -128,7 +139,17 @@ ZeroEngine::StepStats ZeroEngine::train_step(
     const auto t1 = Clock::now();
     {
       ZI_TRACE_SPAN("engine", "bwd", "\"micro\":" + std::to_string(m));
-      model_.backward_loss(cur_scale / (world * num_micro));
+      // Weighted ranks: this rank's loss weight (its share of the global
+      // batch) replaces the uniform 1/world factor. The legacy expression
+      // is kept verbatim when no weight is set so uniform trajectories stay
+      // bit-identical.
+      const float back_scale =
+          loss_weight_ > 0.0
+              ? static_cast<float>(static_cast<double>(cur_scale) *
+                                   loss_weight_ /
+                                   static_cast<double>(num_micro))
+              : cur_scale / (world * num_micro);
+      model_.backward_loss(back_scale);
       if (coordinator_ == nullptr) {
         reduce_replicated_grads(/*accumulate=*/m > 0);
       }
@@ -141,8 +162,12 @@ ZeroEngine::StepStats ZeroEngine::train_step(
   st.local_loss = static_cast<float>(loss_sum / num_micro);
 
   const bool overflow = comm_.allreduce_or(driver_.local_overflow());
-  st.global_loss = static_cast<float>(
-      comm_.allreduce_sum_scalar(st.local_loss) / comm_.size());
+  st.global_loss =
+      loss_weight_ > 0.0
+          ? static_cast<float>(comm_.allreduce_sum_scalar(
+                static_cast<double>(st.local_loss) * loss_weight_))
+          : static_cast<float>(comm_.allreduce_sum_scalar(st.local_loss) /
+                               comm_.size());
   st.skipped = scaler_.update(overflow);
   if (st.skipped) {
     if (MetricsSink::enabled()) {
@@ -322,7 +347,28 @@ void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
 
   r.comm_aborts = comm_abort_count();
   r.elastic_restarts = elastic_restart_count();
-  r.heartbeat_max_age_ms = comm_.health().max_heartbeat_age_ms();
+  // True max heartbeat age over the step, not a point sample: a gap that
+  // both opened and closed since the last report lives only in the
+  // WorldHealth max-gap watermark, so take the larger of the currently open
+  // gap and any watermark growth since the previous emit.
+  WorldHealth& health = comm_.health();
+  const int hranks = health.num_ranks();
+  if (metrics_base_.hb_gap_base.size() != static_cast<std::size_t>(hranks)) {
+    metrics_base_.hb_gap_base.assign(static_cast<std::size_t>(hranks), 0.0);
+  }
+  double worst_age = 0.0;
+  for (int hr = 0; hr < hranks; ++hr) {
+    const double watermark = health.max_heartbeat_gap_ms(hr);
+    double age = health.heartbeat_age_ms(hr);
+    if (watermark > metrics_base_.hb_gap_base[static_cast<std::size_t>(hr)]) {
+      age = std::max(age, watermark);
+    }
+    metrics_base_.hb_gap_base[static_cast<std::size_t>(hr)] = watermark;
+    worst_age = std::max(worst_age, age);
+  }
+  r.heartbeat_max_age_ms = worst_age;
+  r.step_ewma_ms = health.step_ewma_s(comm_.global_rank()) * 1e3;
+  r.straggler_rank = health.straggler_rank();
 
   MetricsSink::instance().write(r);
 }
@@ -442,6 +488,7 @@ std::vector<half> ZeroEngine::gather_full_fp16(Parameter* p) {
   store_.load_param_shard(p, shard);
   std::vector<half> padded(static_cast<std::size_t>(spec.padded_numel()));
   comm_.allgather<half>(shard, padded);
+  compact_gathered<half>(spec, padded);  // weighted slots -> flat layout
   padded.resize(static_cast<std::size_t>(p->numel()));
   return padded;
 }
@@ -458,6 +505,7 @@ std::vector<float> ZeroEngine::gather_full_f32(Parameter* p,
   }
   std::vector<float> padded(static_cast<std::size_t>(spec.padded_numel()));
   comm_.allgather<float>(shard, padded);
+  compact_gathered<float>(spec, padded);  // weighted slots -> flat layout
   padded.resize(static_cast<std::size_t>(p->numel()));
   return padded;
 }
@@ -527,7 +575,6 @@ void ZeroEngine::load_checkpoint(const std::string& path) {
   scaler_.restore(snap);
 
   if (coordinator_ != nullptr) coordinator_->end_iteration();
-  std::vector<half> h16;
   std::vector<float> f32;
   for (Parameter* p : params) {
     const auto numel = reader.read_pod<std::int64_t>();
@@ -550,11 +597,11 @@ void ZeroEngine::load_checkpoint(const std::string& path) {
         store_.store_param_full(p, fp16);
       }
     } else {
+      // extract_shard_fp16 slices the flat checkpoint tensor directly
+      // (uniform or weighted layout alike) and zero-fills the shard tail.
       const ShardSpec& pspec = store_.param_spec(p);
-      h16.assign(static_cast<std::size_t>(pspec.padded_numel()), half(0.0f));
-      std::copy(fp16.begin(), fp16.end(), h16.begin());
       std::vector<half> shard(static_cast<std::size_t>(pspec.shard_elems));
-      extract_shard_fp16(h16, pspec, comm_.rank(), shard);
+      extract_shard_fp16(fp16, pspec, comm_.rank(), shard);
       store_.store_param_shard_async(p, shard).wait();
     }
 

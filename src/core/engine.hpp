@@ -90,6 +90,12 @@ class ZeroEngine {
   /// next optimizer step.
   void set_learning_rate(float lr) { config_.adam.lr = lr; }
 
+  /// Weighted data parallelism: this rank's share of the global batch
+  /// (sum across ranks == 1). Replaces the uniform 1/world factor in both
+  /// the backward scale and the global-loss reduction. 0 (default) keeps
+  /// the legacy uniform expressions bit-for-bit.
+  void set_loss_weight(double w) { loss_weight_ = w; }
+
   const EngineConfig& config() const noexcept { return config_; }
   RankResources& resources() noexcept { return res_; }
   ModelStateStore& state_store() noexcept { return store_; }
@@ -128,6 +134,7 @@ class ZeroEngine {
   std::unique_ptr<ActivationOffloader> act_offloader_;
   std::int64_t step_ = 0;
   std::int64_t opt_step_ = 0;
+  double loss_weight_ = 0.0;  ///< 0 = uniform 1/world (legacy expressions)
 
   /// Cumulative counter values as of the previous StepReport, so each
   /// report carries per-step deltas (comm/AIO counters are shared across
@@ -160,6 +167,10 @@ class ZeroEngine {
     std::uint64_t coalesced_transfers = 0;
     std::uint64_t sched_preemptions = 0;
     std::uint64_t sched_queue_ns[kNumTransferClasses] = {};
+    /// Per-rank heartbeat max-gap watermark at the previous report, so each
+    /// report can tell whether a gap closed during its step and report the
+    /// true step max instead of a point sample (see emit_step_report).
+    std::vector<double> hb_gap_base;
   };
   CounterBase metrics_base_;
 };

@@ -1,45 +1,84 @@
-// Bandwidth-centric flat partitioning (Sec. 6.1).
+// Bandwidth-centric flat partitioning (Sec. 6.1) with optional weighted
+// (heterogeneous) shard sizing.
 //
 // "Unlike ZeRO and ZeRO-Offload, where parameters of each layer are owned
 // by a single data parallel process ... ZeRO-Infinity partitions individual
 // parameters across all the data parallel processes, and uses an allgather
 // instead of a broadcast when a parameter needs to be accessed."
 //
-// Every parameter is flattened and split into `world` equal shards (padded
-// at the tail). Rank r persists shard r; a gather is one equal-sized
-// allgather in which every rank's PCIe/NVMe link moves 1/dp of the data —
-// the property that makes heterogeneous bandwidth scale with dp.
+// Every parameter is flattened and split into `world` shards. Uniform mode
+// (the default): equal shards padded at the tail; a gather is one
+// equal-sized allgather in which every rank's PCIe/NVMe link moves 1/dp of
+// the data. Weighted mode (Poplar-style heterogeneous ranks): shard sizes
+// follow a `RankWeights` vector so a slow rank persists and updates less
+// state. Collectives stay equal-slot (slot = max chunk, tails
+// zero-padded); the flat layout is recovered by compacting slots after a
+// gather and re-expanding before a reduce-scatter, so reduction order — and
+// therefore bitwise determinism — is unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/half.hpp"
 #include "model/parameter.hpp"
 
 namespace zi {
 
+/// Relative throughput weights, one per rank (any positive scale). Empty
+/// means "uniform". Shard sizes and per-rank micro-batches are apportioned
+/// proportionally with a deterministic largest-remainder rule.
+using RankWeights = std::vector<double>;
+
 struct ShardSpec {
   std::int64_t numel;        ///< true element count of the parameter
-  std::int64_t shard_elems;  ///< elements per rank (padded)
+  std::int64_t shard_elems;  ///< elements per collective slot (max chunk)
   int world;
+  /// Weighted mode: per-rank real chunk sizes (sum == numel) and their
+  /// prefix offsets (size world+1). Empty chunk == uniform layout.
+  std::vector<std::int64_t> chunk;
+  std::vector<std::int64_t> prefix;
 
+  bool uniform() const { return chunk.empty(); }
   /// Padded full size (= shard_elems * world >= numel).
   std::int64_t padded_numel() const { return shard_elems * world; }
-  /// First element index of rank r's shard.
+  /// First *flat* element index of rank r's shard.
   std::int64_t begin(int rank) const {
-    return static_cast<std::int64_t>(rank) * shard_elems;
+    return uniform() ? static_cast<std::int64_t>(rank) * shard_elems
+                     : prefix[static_cast<std::size_t>(rank)];
   }
   /// Number of *real* (non-padding) elements in rank r's shard.
   std::int64_t valid_elems(int rank) const {
+    if (!uniform()) return chunk[static_cast<std::size_t>(rank)];
     const std::int64_t b = begin(rank);
     if (b >= numel) return 0;
     return std::min(shard_elems, numel - b);
   }
 };
 
+/// Split `total` proportionally to `weights` (size = rank count) with the
+/// deterministic largest-remainder method; remainder ties go to the lower
+/// rank. Zero/negative weights get zero-sized parts. Sum is exactly
+/// `total`.
+std::vector<std::int64_t> apportion(std::int64_t total,
+                                    const RankWeights& weights);
+
+/// Like apportion but every rank gets at least one unit — micro-batch
+/// sizing, where a zero batch would desynchronize the collective schedule.
+/// Requires total >= weights.size().
+std::vector<std::int64_t> apportion_batches(std::int64_t total,
+                                            const RankWeights& weights);
+
 /// Shard layout for a parameter of `numel` elements over `world` ranks.
 ShardSpec make_shard_spec(std::int64_t numel, int world);
+
+/// Weighted layout: chunk sizes follow `weights` (empty = uniform).
+ShardSpec make_shard_spec(std::int64_t numel, int world,
+                          const RankWeights& weights);
 
 /// Materialize rank `rank`'s fp16 shard of `p` directly from the
 /// deterministic init function — the full tensor is never built on any
@@ -47,9 +86,52 @@ ShardSpec make_shard_spec(std::int64_t numel, int world);
 void init_shard_fp16(const Parameter& p, const ShardSpec& spec, int rank,
                      std::span<half> shard);
 
-/// Copy rank `rank`'s slice out of a padded full fp16 buffer.
-void extract_shard_fp16(std::span<const half> full_padded,
+/// Copy rank `rank`'s slice out of a *flat* full fp16 buffer (at least
+/// `numel` elements; anything past `begin + valid` in the source is
+/// ignored). The shard's tail past `valid_elems` is zero-filled.
+void extract_shard_fp16(std::span<const half> full,
                         const ShardSpec& spec, int rank,
                         std::span<half> shard);
+
+/// Rewrite an allgathered slot buffer (world slots of `shard_elems`, each
+/// slot's first valid_elems(r) real, tail zero) into the flat layout: the
+/// first `numel` elements become the concatenated real chunks. No-op for
+/// uniform specs (the layouts coincide over the first `numel` elements).
+template <typename T>
+void compact_gathered(const ShardSpec& spec, std::span<T> buf) {
+  if (spec.uniform()) return;
+  ZI_CHECK(static_cast<std::int64_t>(buf.size()) >= spec.padded_numel());
+  for (int r = 0; r < spec.world; ++r) {
+    const std::int64_t src = static_cast<std::int64_t>(r) * spec.shard_elems;
+    const std::int64_t dst = spec.begin(r);
+    if (dst == src) continue;
+    // Ascending is overlap-safe: dst <= src and earlier ranks' chunks land
+    // strictly below this slot's source.
+    std::memmove(buf.data() + dst, buf.data() + src,
+                 static_cast<std::size_t>(spec.valid_elems(r)) * sizeof(T));
+  }
+}
+
+/// Inverse of compact_gathered: spread the flat first-`numel` elements into
+/// per-rank collective slots, zeroing each slot's tail — the layout
+/// reduce_scatter consumes. No-op for uniform specs.
+template <typename T>
+void expand_to_slots(const ShardSpec& spec, std::span<T> buf) {
+  if (spec.uniform()) return;
+  ZI_CHECK(static_cast<std::int64_t>(buf.size()) >= spec.padded_numel());
+  for (int r = spec.world - 1; r >= 0; --r) {
+    const std::int64_t src = spec.begin(r);
+    const std::int64_t dst = static_cast<std::int64_t>(r) * spec.shard_elems;
+    const std::int64_t valid = spec.valid_elems(r);
+    if (dst != src) {
+      // Descending is overlap-safe: dst >= src, and lower ranks' flat
+      // chunks all sit below this slot.
+      std::memmove(buf.data() + dst, buf.data() + src,
+                   static_cast<std::size_t>(valid) * sizeof(T));
+    }
+    std::fill_n(buf.data() + dst + valid,
+                static_cast<std::size_t>(spec.shard_elems - valid), T{});
+  }
+}
 
 }  // namespace zi

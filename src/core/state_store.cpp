@@ -31,9 +31,14 @@ ModelStateStore::ModelStateStore(RankResources& res,
                      static_cast<std::size_t>(p->id()) < entries_.size(),
                  "parameter ids not finalized for " << p->name());
     Entry& e = entries_[static_cast<std::size_t>(p->id())];
-    e.param_spec = make_shard_spec(p->numel(), world_);
-    e.opt_spec = make_shard_spec(p->numel(),
-                                 config_.optimizer_partitioned() ? world_ : 1);
+    // rank_weights (validated by the engine: stage 3 + bandwidth-centric
+    // only) skews both shard layouts; empty weights reproduce the uniform
+    // layout exactly.
+    e.param_spec = make_shard_spec(p->numel(), world_, config_.rank_weights);
+    e.opt_spec =
+        config_.optimizer_partitioned()
+            ? make_shard_spec(p->numel(), world_, config_.rank_weights)
+            : make_shard_spec(p->numel(), 1);
     const auto shard_n = static_cast<std::size_t>(e.opt_spec.shard_elems);
 
     // Partitioned init: the fp16 values this rank would see after rounding.

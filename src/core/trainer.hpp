@@ -30,6 +30,14 @@ struct TrainerConfig {
   /// after each successful save. Minimum 1.
   int checkpoint_keep = 2;
   LrSchedule schedule;
+  /// Weighted data parallelism (straggler rebalance): relative per-rank
+  /// throughput. Empty = uniform (every rank draws batch_per_rank). When set
+  /// (size == world), batch_per_rank becomes the *mean*: the global
+  /// micro-batch batch_per_rank × world is apportioned so faster ranks draw
+  /// more sequences, and per-rank losses are weighted by batch share so the
+  /// global loss stays the per-sequence mean. Typically filled by the
+  /// elastic supervisor on rebalance, mirroring EngineConfig::rank_weights.
+  std::vector<double> rank_weights;
 };
 
 struct TrainerReport {
@@ -41,6 +49,20 @@ struct TrainerReport {
 
 class Trainer {
  public:
+  /// What a rank hands back to the elastic supervisor through
+  /// Communicator::set_result — training progress plus the straggler
+  /// detector's state. With detection on, rank 0 re-publishes it every step
+  /// so a crashed world still leaves the supervisor fresh per-rank EWMAs to
+  /// rebalance from.
+  struct ResultPayload {
+    std::int64_t resumed_step = 0;  ///< try_resume()'s checkpoint step
+    int straggler_rank = -1;        ///< detector verdict, or -1
+    std::vector<double> step_ewma;  ///< per-rank busy-time EWMA (seconds)
+    TrainerReport report;
+  };
+  static std::string encode_result(const ResultPayload& payload);
+  static ResultPayload decode_result(const std::string& bytes);
+
   /// `eval_data` may be null (disables evaluation regardless of config).
   Trainer(ZeroEngine& engine, Communicator& comm, const TokenDataset& train,
           const TokenDataset* eval_data, TrainerConfig config);
@@ -58,7 +80,22 @@ class Trainer {
   /// A subsequent run() continues from the resumed step.
   std::int64_t try_resume();
 
+  /// Runs until total_steps — or until the straggler detector convicts a
+  /// rank, in which case every rank breaks out on the same step (the
+  /// detector is a deterministic function of allgathered timings) and
+  /// straggler_verdict() names the slow rank. Detection is armed by the
+  /// world's WorldOptions (ZI_STRAGGLER_FACTOR / ZI_STRAGGLER_STEPS) and
+  /// adds one scalar-per-rank allgather per step while armed.
   TrainerReport run();
+
+  /// Detector verdict from the last run(): the convicted rank, or -1.
+  int straggler_verdict() const noexcept { return straggler_verdict_; }
+  /// Per-rank busy-time EWMAs (seconds) as of the last observed step.
+  const std::vector<double>& step_ewma() const noexcept { return step_ewma_; }
+  /// Checkpoint step try_resume() restored, or 0.
+  std::int64_t resumed_step() const noexcept { return resumed_step_; }
+  /// This rank's sequences per micro-batch after weighting.
+  std::int64_t rank_batch() const noexcept { return rank_batch_; }
 
  private:
   /// Rank-0 only: delete checkpoints beyond the `checkpoint_keep` newest.
@@ -69,6 +106,10 @@ class Trainer {
   const TokenDataset& train_;
   const TokenDataset* eval_;
   TrainerConfig config_;
+  std::int64_t rank_batch_;       ///< weighted batch_per_rank for this rank
+  std::int64_t resumed_step_ = 0;
+  int straggler_verdict_ = -1;
+  std::vector<double> step_ewma_;
 };
 
 }  // namespace zi

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 #include "mem/accountant.hpp"
@@ -101,6 +102,15 @@ struct EngineConfig {
   DynamicLossScaler::Config loss_scale;
   /// Global gradient-norm clip; 0 disables.
   float max_grad_norm = 0.0f;
+
+  /// Relative per-rank throughput weights for heterogeneous (straggler-
+  /// aware) sharding — `RankWeights` from core/partition.hpp. Empty =
+  /// uniform shards. Non-empty requires stage 3 + bandwidth_centric and a
+  /// size equal to the world; shard chunks are apportioned proportionally
+  /// while collectives keep equal zero-padded slots, so reduction order and
+  /// numerics are unchanged. The elastic supervisor fills this in when it
+  /// rebalances after a straggler verdict.
+  std::vector<double> rank_weights;
 
   /// Graceful degradation: when true, a state buffer whose home tier cannot
   /// satisfy the allocation (GPU arena OOM, NVMe swap exhaustion) spills to

@@ -107,6 +107,8 @@ std::string StepReport::to_json_line() const {
   append_kv(out, "comm_aborts", comm_aborts);
   append_kv(out, "elastic_restarts", elastic_restarts);
   append_kv(out, "heartbeat_max_age_ms", heartbeat_max_age_ms);
+  append_kv(out, "step_ewma_ms", step_ewma_ms);
+  append_kv(out, "straggler_rank", straggler_rank);
   out.back() = '}';  // replace the trailing comma
   return out;
 }

@@ -100,7 +100,13 @@ struct StepReport {
   // they survive elastic teardown/relaunch, unlike per-world traffic).
   std::uint64_t comm_aborts = 0;       ///< comm ops aborted or timed out
   std::uint64_t elastic_restarts = 0;  ///< elastic world relaunches
-  double heartbeat_max_age_ms = 0.0;   ///< oldest rank heartbeat right now
+  /// True max heartbeat age over the step, across ranks: the larger of the
+  /// currently open gap and any gap that closed during the step (from the
+  /// WorldHealth max-gap watermark) — a stall that starts and ends inside
+  /// one step is no longer invisible to the report.
+  double heartbeat_max_age_ms = 0.0;
+  double step_ewma_ms = 0.0;    ///< this rank's busy-time EWMA (0 = detection off)
+  int straggler_rank = -1;      ///< straggler verdict so far, or -1
 
   /// One JSON object, no trailing newline.
   std::string to_json_line() const;

@@ -53,7 +53,7 @@ bool bernoulli(double p, std::uint64_t hash) {
 constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
     "aio_read",       "aio_write",  "nvme_alloc",      "arena_alloc",
     "pinned_acquire", "rank_crash", "rank_stall",      "collective_delay",
-    "proc_kill"};
+    "proc_kill",      "proc_stall"};
 
 // Classic Levenshtein over short names — powers the "did you mean" hint for
 // ZI_FAULTS typos (an unknown site used to silently arm nothing before the

@@ -27,6 +27,10 @@
 //   proc_kill              Communicator collective entry: SIGKILL the rank's
 //                          own process (error kind; proc transport only — an
 //                          in-process world degrades it to a thrown crash)
+//   proc_stall             Communicator collective entry: SIGSTOP the rank's
+//                          own process for delay_us, then SIGCONT (delay
+//                          kind; proc transport only — an in-process world
+//                          degrades it to a bounded rank_stall freeze)
 //
 // Determinism: every site keeps an operation ordinal, and a rule's fire
 // decision for ordinal i is a pure function of (seed, site, rule index, i)
@@ -63,8 +67,9 @@ enum class FaultSite : int {
   kRankStall,
   kCollectiveDelay,
   kProcKill,
+  kProcStall,
 };
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 10;
 
 const char* fault_site_name(FaultSite site);
 /// Parses "aio_read" etc.; throws zi::Error on unknown names.

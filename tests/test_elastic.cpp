@@ -197,6 +197,7 @@ TEST_F(ElasticTest, GivesUpWhenSurvivorsWouldDropBelowMinRanks) {
   EXPECT_EQ(rep.attempts[0].kind, WorldFailKind::kException);
   EXPECT_EQ(rep.attempts[0].culprit_rank, 1);
   EXPECT_EQ(rep.attempts[0].ranks_lost, 1);
+  EXPECT_TRUE(rep.attempts[0].rank_weights.empty());  // uniform launch
 }
 
 TEST_F(ElasticTest, KilledRankRestartsSmallerWorldBitIdentically) {
@@ -259,10 +260,14 @@ TEST_F(ElasticTest, KilledRankRestartsSmallerWorldBitIdentically) {
   EXPECT_EQ(crashed.kind, WorldFailKind::kException);
   EXPECT_EQ(crashed.culprit_rank, 2);
   EXPECT_EQ(crashed.ranks_lost, 1);  // three victims unblocked, none wedged
+  EXPECT_TRUE(crashed.rank_weights.empty());
 
   const ElasticAttempt& recovered = rep.attempts[1];
   EXPECT_TRUE(recovered.completed);
   EXPECT_EQ(recovered.world, 3);
+  // Straggler detection is off (default WorldOptions), so the crash restart
+  // has no EWMAs to rebalance from and must keep the legacy uniform shrink.
+  EXPECT_TRUE(recovered.rank_weights.empty());
   const std::int64_t resumed = recovered.resumed_step;
   EXPECT_TRUE(resumed == 3 || resumed == 6 || resumed == 9)
       << "resumed from step " << resumed;

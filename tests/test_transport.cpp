@@ -359,6 +359,30 @@ TEST_P(TransportConformance, ProcKillFaultSiteFiresPerBackend) {
       << wr.culprit_what;
 }
 
+TEST_P(TransportConformance, ProcStallBlameFallsOnFrozenRank) {
+  // proc_stall at rank 1's 3rd collective entry: a real SIGSTOP/SIGCONT
+  // full-process freeze under the proc backend (heartbeat thread included),
+  // the degraded heartbeat-free rank_stall sleep in-process. The freeze
+  // (1.5 s) outlives the 800 ms deadline, so rank 0's timed wait expires
+  // and the heartbeat-age blame must land on the frozen rank — not on the
+  // reporter, and not as a generic world error.
+  FaultInjector::instance().configure(
+      "seed=13;proc_stall:delay,rank=1,after=2,count=1,delay_us=1500000");
+  const WorldReport wr =
+      run_world_guarded(2, opts(800.0), [](Communicator& comm) {
+        for (int i = 0; i < 6; ++i) comm.barrier();
+      });
+  EXPECT_FALSE(wr.ok);
+  EXPECT_EQ(wr.kind, WorldFailKind::kTimeout);
+  EXPECT_EQ(wr.culprit_rank, 1);
+  EXPECT_TRUE(wr.primary_ranks.empty());  // a stall is nobody's exception
+  EXPECT_EQ(wr.detached, 0);  // the freeze is bounded: everyone unwinds
+  EXPECT_NE(wr.culprit_what.find("waiting for rank 1"), std::string::npos)
+      << wr.culprit_what;
+  EXPECT_NE(wr.culprit_what.find("heartbeat age"), std::string::npos)
+      << wr.culprit_what;
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          ::testing::Values(TransportKind::kInproc,
                                            TransportKind::kProc),
@@ -397,6 +421,39 @@ TEST(TransportCrossBackend, ReductionsAreBitIdenticalAcrossBackends) {
   for (std::size_t r = 0; r < inproc.size(); ++r) {
     EXPECT_EQ(inproc[r], proc[r]) << "rank " << r << " result bits diverged";
   }
+}
+
+TEST(TransportCrossBackend, StallBlameIsByteIdenticalAcrossBackends) {
+  // Same freeze, both backends: the timeout blame must not just name the
+  // same culprit — the recorded first-failure text must match byte for byte
+  // up to the live heartbeat-age suffix (a measured wall time, the one part
+  // that legitimately differs run to run). A 2-rank world pins the
+  // reporter: only rank 0 is left waiting, so op, reporter rank, timeout,
+  // epoch, and blamed rank are all deterministic.
+  if (kTsan) GTEST_SKIP() << "proc backend unsupported under TSan";
+  const auto stall_blame = [](TransportKind kind) {
+    FaultInjector::instance().clear();
+    FaultInjector::instance().configure(
+        "seed=13;proc_stall:delay,rank=1,after=2,count=1,delay_us=1500000");
+    WorldOptions o;
+    o.transport = kind;
+    o.timeout_ms = 800.0;
+    const WorldReport wr = run_world_guarded(2, o, [](Communicator& comm) {
+      for (int i = 0; i < 6; ++i) comm.barrier();
+    });
+    FaultInjector::instance().clear();
+    EXPECT_FALSE(wr.ok);
+    EXPECT_EQ(wr.kind, WorldFailKind::kTimeout);
+    EXPECT_EQ(wr.culprit_rank, 1);
+    // "... waiting for rank 1 (heartbeat age 812 ms)" — strip the age.
+    const std::size_t cut = wr.culprit_what.find(" (heartbeat age");
+    EXPECT_NE(cut, std::string::npos) << wr.culprit_what;
+    return wr.culprit_what.substr(0, cut);
+  };
+  const std::string inproc = stall_blame(TransportKind::kInproc);
+  const std::string proc = stall_blame(TransportKind::kProc);
+  EXPECT_FALSE(inproc.empty());
+  EXPECT_EQ(inproc, proc) << "stall blame diverged across backends";
 }
 
 // ---------------------------------------------------------------------------
@@ -664,12 +721,15 @@ TEST(ProcElastic, KillNineMidStepRestartsBitIdentically) {
   EXPECT_EQ(killed.kind, WorldFailKind::kException);
   EXPECT_EQ(killed.culprit_rank, 3);
   EXPECT_EQ(killed.ranks_lost, 1);  // three survivors unblocked, none wedged
+  EXPECT_TRUE(killed.rank_weights.empty());
   EXPECT_NE(killed.error.find("killed by signal"), std::string::npos)
       << "expected a real SIGKILL death, got: " << killed.error;
 
   const ElasticAttempt& recovered = rep.attempts[1];
   EXPECT_TRUE(recovered.completed);
   EXPECT_EQ(recovered.world, 3);
+  // Detection off: the shrink stays uniform, byte-for-byte legacy behavior.
+  EXPECT_TRUE(recovered.rank_weights.empty());
   const std::int64_t resumed = recovered.resumed_step;
   EXPECT_TRUE(resumed == 3 || resumed == 6 || resumed == 9)
       << "resumed from step " << resumed;

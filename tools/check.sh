@@ -9,6 +9,7 @@
 #   tools/check.sh build           # plain build + full ctest, ZI_WERROR=ON
 #   tools/check.sh sched           # transfer-scheduler suites only (fast loop)
 #   tools/check.sh transport       # Communicator transport suites (inproc+proc)
+#   tools/check.sh straggler       # straggler detection/rebalance suites
 #   tools/check.sh tsan            # ZI_SANITIZE=thread build + concurrency tests
 #   tools/check.sh asan            # ZI_SANITIZE=address build + full ctest
 #   tools/check.sh ubsan           # ZI_SANITIZE=undefined build + full ctest
@@ -101,6 +102,19 @@ run_transport() {
     || FAILED=1
 }
 
+# Tight loop for straggler-rebalance work: detection, weighted
+# partitioning, and elastic-rebalance suites on a plain build. Shares the
+# plain build tree so a follow-up `build` is warm.
+run_straggler() {
+  local build="build-check-plain"
+  note "straggler (test_straggler + test_elastic + test_transport)"
+  cmake -B "$build" -S . -DZI_WERROR=ON >/dev/null
+  cmake --build "$build" -j "$JOBS" \
+    --target test_straggler test_elastic test_transport
+  (cd "$build" && ctest --output-on-failure -j "$JOBS" -L straggler) \
+    || FAILED=1
+}
+
 # $1: mode name, $2: ZI_SANITIZE value ('' = off), $3: ctest label ('' = all)
 run_build() {
   local mode="$1" sanitize="$2" label="$3"
@@ -125,13 +139,14 @@ for step in "${STEPS[@]}"; do
     build)  run_build plain "" "" ;;
     sched)  run_sched ;;
     transport) run_transport ;;
+    straggler) run_straggler ;;
     # TSan: the concurrency-labeled subset (comm / aio / thread pool /
     # stress / lock tracker) — the full suite under TSan takes too long for
     # a pre-commit loop; CI runs the same subset.
     tsan)   run_build tsan thread concurrency ;;
     asan)   run_build asan address "" ;;
     ubsan)  run_build ubsan undefined "" ;;
-    *) echo "unknown step: $step (known: ${ALL[*]} sched transport)"; exit 2 ;;
+    *) echo "unknown step: $step (known: ${ALL[*]} sched transport straggler)"; exit 2 ;;
   esac
 done
 
