@@ -1,5 +1,6 @@
-// ParamCoordinator — automated data movement for partitioned parameters
-// (Sec. 7.1) with the overlap-centric dynamic prefetcher (Sec. 6.2).
+// ParamCoordinator — the training coordinator (Sec. 7.1): the forward-side
+// streamed-execution core (stream_coordinator.hpp) plus the backward /
+// gradient half.
 //
 // Installed as module hooks on the model tree:
 //   * pre-forward / pre-backward: gather the module's parameters — load the
@@ -13,182 +14,48 @@
 //     gradient shard, store it on the gradient tier, and free both the
 //     gradient buffer and the full parameter.
 //
-// The prefetcher "traces the forward and backward computation on the fly,
-// constructing an internal map of the operator sequence for each
-// iteration" (Sec. 6.2): the first iteration records fetch order; later
-// iterations issue asynchronous shard loads `prefetch_depth` fetches ahead
-// (genuinely asynchronous when shards live on NVMe). If the observed
-// sequence diverges (dynamic control flow), the stale suffix is discarded
-// and re-recorded.
-//
 // External parameters (Sec. 7.1.1): a module may compute with parameters it
 // does not own (tied embeddings). They are gathered like any other, but
 // their gradient is reduced only at the *owner's* post-backward, after all
 // consumers have accumulated into it.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <span>
-#include <string>
 #include <unordered_map>
-#include <vector>
 
-#include "comm/world.hpp"
-#include "core/state_store.hpp"
-#include "move/data_mover.hpp"
-#include "move/staging.hpp"
-#include "core/zero_config.hpp"
-#include "model/module.hpp"
+#include "core/stream_coordinator.hpp"
 
 namespace zi {
 
-/// One structured data-movement event (the Fig. 4 vocabulary). Replaces the
-/// old free-form string callback: consumers get typed fields and can render
-/// the legacy text with format_event().
-struct DataMovementEvent {
-  enum class Kind { kGather, kRelease, kPrefetch, kReduceScatter };
-  Kind kind = Kind::kGather;
-  std::string param;            ///< parameter name
-  Placement tier = Placement::kGpu;  ///< source (gather/prefetch) or
-                                     ///< destination (reduce-scatter) tier
-  bool broadcast = false;       ///< gather used the broadcast baseline
-  bool for_backward = false;    ///< gather serving the backward pass
-  bool pinned_staging = false;  ///< prefetch staged into a pinned lease
-};
-
-/// The legacy Fig. 4 one-line rendering of an event ("allgather  wte  <-
-/// nvme  (for forward)" etc.) — what the old string recorder produced.
-std::string format_event(const DataMovementEvent& e);
-
-class ParamCoordinator {
+class ParamCoordinator : public StreamCoordinator {
  public:
-  struct Stats {
-    std::uint64_t fetches = 0;
-    std::uint64_t releases = 0;
-    std::uint64_t prefetches_issued = 0;
-    std::uint64_t prefetch_hits = 0;
-    /// Prefetched data discarded unconsumed: trace invalidation/eval-mode
-    /// drops, and staged reads abandoned because their wait() threw. The
-    /// truth invariant is prefetches_issued == prefetch_hits +
-    /// prefetch_drops + (entries still in flight).
-    std::uint64_t prefetch_drops = 0;
-    std::uint64_t trace_invalidations = 0;
-    std::uint64_t auto_registrations = 0;  ///< Sec. 7.1.1 interceptions
-    std::uint64_t grads_reduced = 0;
-    std::uint64_t allgather_fp16_elems = 0;
-    std::uint64_t broadcast_fp16_elems = 0;  ///< broadcast-baseline traffic
-    std::uint64_t reduce_scatter_fp16_elems = 0;
-    // Accumulated only while metrics are enabled (obs/metrics.hpp): wall
-    // time inside fetch() gathers / reduce_and_store_grad().
-    double fetch_seconds = 0.0;
-    double reduce_seconds = 0.0;
-  };
+  using Stats = StreamCoordinator::Stats;
 
-  ParamCoordinator(ModelStateStore& store, RankResources& res,
-                   Communicator& comm, const EngineConfig& config);
-  /// Blocks on any in-flight prefetch I/O: the staging buffers it owns
-  /// must not be freed under an active async read.
-  ~ParamCoordinator();
-
-  /// Install the fetch/release/reduce hooks on `root` and all descendants.
-  void install(Module& root);
-
-  /// Call at the top of every training iteration: rotates the recorded
-  /// trace into active use and resets the cursor.
-  void begin_iteration();
-
-  /// End-of-step cleanup: force-releases persistent parameters (their
-  /// shards were just updated by the optimizer, so the gathered copies are
-  /// stale) and re-enables training-trace bookkeeping after eval.
-  void end_iteration();
-
-  /// Enter/leave evaluation mode: parameters are still gathered/released
-  /// by the hooks, but the operator-sequence trace is neither recorded nor
-  /// advanced (a forward-only pass must not invalidate the training trace).
-  void set_eval_mode(bool eval);
+  using StreamCoordinator::StreamCoordinator;
+  ~ParamCoordinator() override = default;
 
   /// Accumulation mode: gradient reduce-scatter results ADD into the
   /// stored gradient shards instead of overwriting them (gradient
   /// accumulation across micro-batches).
   void set_grad_accumulation(bool accumulate) { accumulate_grads_ = accumulate; }
 
-  /// Gather one parameter now (public for tests and for eager warm-up).
-  void fetch(Parameter* p, bool for_backward);
-  /// Re-partition one parameter (frees its full tensor). Parameters under
-  /// the persistence threshold are kept gathered unless `force` is set.
-  void release(Parameter* p, bool force = false);
+ protected:
+  /// Materialize the zero-filled fp32 gradient buffer in the GPU arena
+  /// before the backward gather (no-op in the forward-only base).
+  void ensure_grad_buffer(Parameter* p) override;
 
-  const Stats& stats() const noexcept { return stats_; }
-
-  /// Install an observer for structured data-movement events — used to
-  /// render the Fig. 4 trace from a live run (pipe through format_event for
-  /// the classic text). Pass nullptr to disable.
-  void set_observer(std::function<void(const DataMovementEvent&)> observer) {
-    observer_ = std::move(observer);
-  }
+  /// Gradients of owned parameters are final once the owner's backward ran
+  /// (every consumer of an external parameter runs after the owner in the
+  /// reverse topological order), so reduce-scatter them here before the
+  /// release; external parameters are merely released.
+  void on_post_backward(Module& m) override;
 
  private:
-  void emit(const DataMovementEvent& event) {
-    if (observer_) observer_(event);
-  }
-
-  void on_pre_forward(Module& m);
-  void on_post_forward(Module& m);
-  void on_pre_backward(Module& m);
-  void on_post_backward(Module& m);
-
-  // Prefetch staging comes from DataMover::stage(): a pinned-pool lease
-  // when one fits and is free (the infinity offload engine reads into
-  // pinned memory, Sec. 6.3), heap otherwise. The slot owns the staging
-  // lease and the in-flight handle; destroying it (consume or drop)
-  // returns the lease — exception paths can never strand a pinned buffer.
-  struct PrefetchSlot {
-    StagingLease staging;
-    TransferHandle handle;
-    std::span<half> view;  // staging.bytes() reinterpreted as half
-  };
-
-  static void intercept_access(void* ctx, Parameter* p);
-  /// Consume the in-flight prefetch for param `id`, if any: the map entry
-  /// is erased BEFORE waiting, so a wait() failure (RetriesExhaustedError)
-  /// destroys the slot — releasing its pinned lease — instead of leaking a
-  /// poisoned entry. Counts the hit or (on throw) the drop.
-  std::optional<PrefetchSlot> take_prefetch(int id);
-  void advance_trace(int param_id);
-  void issue_prefetches();
-  void drop_prefetches();
-  void ensure_grad_buffer(Parameter* p);
   void reduce_and_store_grad(Parameter* p);
 
-  ModelStateStore& store_;
-  RankResources& res_;
-  Communicator& comm_;
-  EngineConfig config_;
-  std::unordered_map<int, Parameter*> params_by_id_;
-
-  // Operator-sequence trace (param ids in fetch order).
-  std::vector<int> trace_;
-  std::size_t cursor_ = 0;
-  bool recording_ = true;
-  bool eval_mode_ = false;
   bool accumulate_grads_ = false;
 
-  std::unordered_map<int, PrefetchSlot> prefetch_;
-
-  // Arena blocks backing gathered fp32 params / fp32 grad buffers.
-  std::unordered_map<int, ArenaBlock> gathered_;
+  // Arena blocks backing fp32 grad buffers.
   std::unordered_map<int, ArenaBlock> grad_blocks_;
-
-  // Execution context for the access interceptor: the stack of modules
-  // whose forward/backward is currently running, and whether we are in the
-  // backward phase (an intercepted access then also needs a grad buffer).
-  std::vector<Module*> module_stack_;
-  bool in_backward_ = false;
-
-  Stats stats_;
-  std::function<void(const DataMovementEvent&)> observer_;
 };
 
 }  // namespace zi

@@ -37,6 +37,9 @@ ZeroEngine::ZeroEngine(TrainableModel& model, Communicator& comm,
              comm.size()),
       driver_(store_, res_, comm_, config_),
       scaler_(config_.loss_scale) {
+  ZI_CHECK_MSG(!config_.inference_only,
+               "ZeroEngine trains; forward-only configs belong to "
+               "StreamEngine (core/stream_engine.hpp)");
   if (!config_.rank_weights.empty()) {
     // Weighted (heterogeneous) sharding is defined only where every state
     // tensor is sliced across all ranks: stages 0-2 copy the flat front of
@@ -308,6 +311,8 @@ void ZeroEngine::emit_step_report(const StepStats& st, double step_seconds) {
   r.move_cpu_spill_bytes = route_delta(Route::kCpuSpill);
   r.move_nvme_fetch_bytes = route_delta(Route::kNvmeFetch);
   r.move_nvme_spill_bytes = route_delta(Route::kNvmeSpill);
+  r.move_kv_fetch_bytes = route_delta(Route::kKvFetch);
+  r.move_kv_spill_bytes = route_delta(Route::kKvSpill);
   r.move_transfers = delta(mv.total_transfers(), metrics_base_.move_transfers);
   r.move_wait_seconds = mv.total_seconds() - metrics_base_.move_wait_seconds;
   metrics_base_.move_wait_seconds = mv.total_seconds();

@@ -41,32 +41,40 @@ ModelStateStore::ModelStateStore(RankResources& res,
             : make_shard_spec(p->numel(), 1);
     const auto shard_n = static_cast<std::size_t>(e.opt_spec.shard_elems);
 
-    // Partitioned init: the fp16 values this rank would see after rounding.
-    // Master weights are initialized FROM the fp16-rounded values so every
-    // stage/placement combination starts from bit-identical state.
-    const int opt_rank = config_.optimizer_partitioned() ? rank_ : 0;
-    h16_scratch.resize(shard_n);
-    init_shard_fp16(*p, e.opt_spec, opt_rank, h16_scratch);
-    f32_scratch.resize(shard_n);
-    for (std::size_t i = 0; i < shard_n; ++i) {
-      f32_scratch[i] = h16_scratch[i].to_float();
+    // Forward-only streaming (inference_only): no optimizer will ever run,
+    // so the fp32 master/momentum/variance shards and the fp16 gradient
+    // shard are never allocated — the store holds just the fp16 parameter
+    // shards below. The fp16 init is identical either way, so serving
+    // weights match the training initialization bit-for-bit.
+    if (!config_.inference_only) {
+      // Partitioned init: the fp16 values this rank would see after
+      // rounding. Master weights are initialized FROM the fp16-rounded
+      // values so every stage/placement combination starts from
+      // bit-identical state.
+      const int opt_rank = config_.optimizer_partitioned() ? rank_ : 0;
+      h16_scratch.resize(shard_n);
+      init_shard_fp16(*p, e.opt_spec, opt_rank, h16_scratch);
+      f32_scratch.resize(shard_n);
+      for (std::size_t i = 0; i < shard_n; ++i) {
+        f32_scratch[i] = h16_scratch[i].to_float();
+      }
+
+      const Tier opt_tier = config_.optimizer_placement;
+      const std::uint64_t f32_bytes = shard_n * sizeof(float);
+      e.master = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
+      e.master->store({reinterpret_cast<const std::byte*>(f32_scratch.data()),
+                       f32_bytes});
+      std::memset(f32_scratch.data(), 0, f32_bytes);
+      e.momentum = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
+      e.momentum->store(
+          {reinterpret_cast<const std::byte*>(f32_scratch.data()), f32_bytes});
+      e.variance = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
+      e.variance->store(
+          {reinterpret_cast<const std::byte*>(f32_scratch.data()), f32_bytes});
+
+      e.grad_fp16 = std::make_unique<TierBuffer>(res_, config_.grad_placement,
+                                                 shard_n * sizeof(half));
     }
-
-    const Tier opt_tier = config_.optimizer_placement;
-    const std::uint64_t f32_bytes = shard_n * sizeof(float);
-    e.master = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
-    e.master->store({reinterpret_cast<const std::byte*>(f32_scratch.data()),
-                     f32_bytes});
-    std::memset(f32_scratch.data(), 0, f32_bytes);
-    e.momentum = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
-    e.momentum->store({reinterpret_cast<const std::byte*>(f32_scratch.data()),
-                       f32_bytes});
-    e.variance = std::make_unique<TierBuffer>(res_, opt_tier, f32_bytes);
-    e.variance->store({reinterpret_cast<const std::byte*>(f32_scratch.data()),
-                       f32_bytes});
-
-    e.grad_fp16 = std::make_unique<TierBuffer>(res_, config_.grad_placement,
-                                               shard_n * sizeof(half));
 
     if (config_.params_partitioned()) {
       if (config_.bandwidth_centric) {
@@ -175,43 +183,60 @@ TransferHandle ModelStateStore::store_param_shard_async(
       static_cast<std::uint64_t>(elem_offset) * sizeof(half));
 }
 
+const TierBuffer& ModelStateStore::grad_buffer(const Parameter* p) const {
+  const Entry& e = entry(p);
+  ZI_CHECK_MSG(e.grad_fp16 != nullptr,
+               "no gradient shard for " << p->name()
+                                        << " (inference_only store)");
+  return *e.grad_fp16;
+}
+
 void ModelStateStore::store_grad_shard(const Parameter* p,
                                        std::span<const half> src) {
-  entry(p).grad_fp16->store(as_bytes_span(src));
+  const_cast<TierBuffer&>(grad_buffer(p)).store(as_bytes_span(src));
 }
 
 void ModelStateStore::accumulate_grad_shard(const Parameter* p,
                                             std::span<const half> src) {
-  Entry& e = entry(p);
+  TierBuffer& grad = const_cast<TierBuffer&>(grad_buffer(p));
   std::vector<half> current(src.size());
-  e.grad_fp16->load(as_bytes_span(std::span<half>(current)));
+  grad.load(as_bytes_span(std::span<half>(current)));
   for (std::size_t i = 0; i < src.size(); ++i) {
     current[i] = half(current[i].to_float() + src[i].to_float());
   }
-  e.grad_fp16->store(as_bytes_span(std::span<const half>(current)));
+  grad.store(as_bytes_span(std::span<const half>(current)));
 }
 
 void ModelStateStore::load_grad_shard(const Parameter* p,
                                       std::span<half> dst) const {
-  entry(p).grad_fp16->load(as_bytes_span(dst));
+  grad_buffer(p).load(as_bytes_span(dst));
 }
 
 void ModelStateStore::load_grad_shard_chunk(const Parameter* p,
                                             std::span<half> dst,
                                             std::int64_t elem_offset) const {
-  entry(p).grad_fp16->load(
+  grad_buffer(p).load(
       as_bytes_span(dst),
       static_cast<std::uint64_t>(elem_offset) * sizeof(half));
 }
 
+namespace {
+TierBuffer& checked_opt_state(const char* what, TierBuffer* buf,
+                              const Parameter* p) {
+  ZI_CHECK_MSG(buf != nullptr, "no " << what << " state for " << p->name()
+                                     << " (inference_only store)");
+  return *buf;
+}
+}  // namespace
+
 TierBuffer& ModelStateStore::master(const Parameter* p) {
-  return *entry(p).master;
+  return checked_opt_state("master", entry(p).master.get(), p);
 }
 TierBuffer& ModelStateStore::momentum(const Parameter* p) {
-  return *entry(p).momentum;
+  return checked_opt_state("momentum", entry(p).momentum.get(), p);
 }
 TierBuffer& ModelStateStore::variance(const Parameter* p) {
-  return *entry(p).variance;
+  return checked_opt_state("variance", entry(p).variance.get(), p);
 }
 
 }  // namespace zi

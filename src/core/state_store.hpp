@@ -105,6 +105,9 @@ class ModelStateStore {
   /// Validated access to the fp16 parameter buffer (stage 3 slice / owner
   /// whole copy) — shared by the sync and async load paths.
   const TierBuffer& param_shard_buffer(const Parameter* p) const;
+  /// Validated access to the fp16 gradient shard (absent in an
+  /// inference_only store).
+  const TierBuffer& grad_buffer(const Parameter* p) const;
   const TierBuffer& param_full_buffer(const Parameter* p,
                                       std::size_t elems) const;
 

@@ -1,0 +1,74 @@
+#include "core/stream_engine.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace zi {
+
+namespace {
+
+std::filesystem::path ensure_nvme_dir(const EngineConfig& config) {
+  std::filesystem::path dir(config.nvme_dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+EngineConfig StreamEngine::force_inference(EngineConfig config) {
+  config.inference_only = true;
+  return config;
+}
+
+StreamEngine::StreamEngine(StreamableModel& model, Communicator& comm,
+                           AioEngine& aio, EngineConfig config)
+    : model_(model),
+      comm_(comm),
+      config_(force_inference(std::move(config))),
+      res_(comm.rank(), aio, config_.gpu_arena_bytes, config_.nvme_capacity,
+           ensure_nvme_dir(config_), config_.pinned_buffer_bytes,
+           config_.pinned_buffer_count, DeviceArena::Mode::kReal,
+           config_.gpu_prefragment_chunk, config_.spill_on_oom),
+      store_(res_, config_, model.module().all_parameters(), comm.rank(),
+             comm.size()) {
+  ZI_CHECK_MSG(config_.params_partitioned(),
+               "StreamEngine streams partitioned parameters; use ZeRO "
+               "stage 3");
+  ZI_CHECK_MSG(config_.rank_weights.empty() ||
+                   static_cast<int>(config_.rank_weights.size()) ==
+                       comm.size(),
+               "rank_weights size " << config_.rank_weights.size()
+                                    << " != world " << comm.size());
+  coordinator_ =
+      std::make_unique<StreamCoordinator>(store_, res_, comm_, config_);
+  coordinator_->set_mode(StreamCoordinator::Mode::kServing);
+  coordinator_->install(model_.module());
+}
+
+StreamEngine::~StreamEngine() {
+  model_.module().install_hooks({});  // detach coordinator hooks
+}
+
+Tensor StreamEngine::forward_logits(std::span<const std::int32_t> tokens) {
+  ZI_TRACE_SPAN("engine", "forward_logits",
+                "\"tokens\":" + std::to_string(tokens.size()));
+  coordinator_->begin_iteration();
+  Tensor logits = model_.forward_logits(tokens);
+  coordinator_->end_iteration();
+  return logits;
+}
+
+std::int32_t StreamEngine::argmax_row(const Tensor& logits, std::int64_t row) {
+  ZI_CHECK(logits.ndim() == 2 && row >= 0 && row < logits.dim(0));
+  const std::int64_t vocab = logits.dim(1);
+  const float* r = logits.data<float>() + row * vocab;
+  std::int32_t best = 0;
+  for (std::int64_t v = 1; v < vocab; ++v) {
+    if (r[v] > r[best]) best = static_cast<std::int32_t>(v);
+  }
+  return best;
+}
+
+}  // namespace zi

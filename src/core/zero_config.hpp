@@ -119,6 +119,13 @@ struct EngineConfig {
   /// default: the capacity experiments rely on OOM being a hard signal.
   bool spill_on_oom = false;
 
+  /// Forward-only streamed execution (the serving path, core/stream_engine
+  /// + src/serve): ModelStateStore holds just the fp16 parameter shards —
+  /// no master weights, no Adam moments, no gradient shards. Roughly 6x
+  /// less tier capacity per parameter (2 bytes vs 2+2+12, Sec. 3). Training
+  /// engines reject a config with this set.
+  bool inference_only = false;
+
   /// True when parameters are partitioned (per-submodule gather/release).
   bool params_partitioned() const { return stage == ZeroStage::kStage3; }
   /// True when gradients are partitioned (reduce-scatter instead of

@@ -9,6 +9,7 @@
 
 #include "model/linear.hpp"
 #include "model/module.hpp"
+#include "model/streamable.hpp"
 
 namespace zi {
 
@@ -22,6 +23,16 @@ class CausalSelfAttention : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   void drop_activations() override;
+
+  /// Incremental (KV-cached) forward for serving: `input` is [rows, hd] at
+  /// absolute positions [start_pos, start_pos+rows). Reads K/V rows
+  /// [0, start_pos) from `kv`, appends the freshly projected K/V rows, and
+  /// attends causally over the union. Either start_pos == 0 (prefill) or
+  /// rows == 1 (decode). Bit-identical to forward() at the corresponding
+  /// rows (row-wise kernels; the softmax of a masked tail is exactly 0).
+  /// Fires this module's hooks; saves nothing for backward.
+  Tensor forward_kv(const Tensor& input, std::int64_t start_pos,
+                    const KvLayerView& kv);
 
   Linear& qkv_proj() noexcept { return *qkv_; }
   Linear& out_proj() noexcept { return *proj_; }

@@ -29,6 +29,20 @@ Tensor TransformerBlock::forward(const Tensor& input) {
   return m;
 }
 
+Tensor TransformerBlock::forward_kv(const Tensor& input,
+                                    std::int64_t start_pos,
+                                    const KvLayerView& kv) {
+  fire_pre_forward();
+  // y = x + attn(ln1(x)), attention against the request's KV cache.
+  Tensor a = attn_->forward_kv(ln1_->run_forward(input), start_pos, kv);
+  add_inplace(a.span<float>(), input.span<float>());
+  // z = y + mlp(ln2(y))
+  Tensor m = mlp_->run_forward(ln2_->run_forward(a));
+  add_inplace(m.span<float>(), a.span<float>());
+  fire_post_forward();
+  return m;
+}
+
 Tensor TransformerBlock::backward(const Tensor& grad_output) {
   // z = y + mlp(ln2(y)): dy = dz + ln2·mlp chain.
   Tensor dy = ln2_->run_backward(mlp_->run_backward(grad_output));

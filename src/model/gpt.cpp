@@ -75,6 +75,7 @@ Gpt::Gpt(const GptConfig& config) : Module("gpt"), config_(config) {
       wrappers_.push_back(wrapper.get());
       blocks_.push_back(std::move(wrapper));
     } else {
+      raw_blocks_.push_back(block.get());
       blocks_.push_back(std::move(block));
     }
     register_child(blocks_.back().get());
@@ -96,13 +97,24 @@ Gpt::Gpt(const GptConfig& config) : Module("gpt"), config_(config) {
 
 Tensor Gpt::forward_logits(std::span<const std::int32_t> tokens) {
   const auto count = static_cast<std::int64_t>(tokens.size());
-  ZI_CHECK_MSG(count % config_.seq == 0,
-               "token count " << count << " not a multiple of seq "
-                              << config_.seq);
+  ZI_CHECK_MSG(count > 0, "forward_logits on an empty token span");
+  // Serving prompts arrive at arbitrary lengths; the attention kernel
+  // works in whole context windows. Pad the tail sequence with token 0 —
+  // causal masking keeps the logits of the first `count` rows bit-identical
+  // to any other tail content — and slice the padding off at the end.
+  std::span<const std::int32_t> run_tokens = tokens;
+  std::vector<std::int32_t> padded;
+  if (count % config_.seq != 0) {
+    const auto padded_count =
+        static_cast<std::size_t>(((count / config_.seq) + 1) * config_.seq);
+    padded.assign(tokens.begin(), tokens.end());
+    padded.resize(padded_count, 0);
+    run_tokens = padded;
+  }
 
   // Token + position embeddings.
-  Tensor x = wte_->forward_ids(tokens);
-  std::vector<std::int32_t> positions(tokens.size());
+  Tensor x = wte_->forward_ids(run_tokens);
+  std::vector<std::int32_t> positions(run_tokens.size());
   for (std::size_t i = 0; i < positions.size(); ++i) {
     positions[i] = static_cast<std::int32_t>(i % static_cast<std::size_t>(config_.seq));
   }
@@ -111,14 +123,61 @@ Tensor Gpt::forward_logits(std::span<const std::int32_t> tokens) {
 
   for (auto& block : blocks_) x = block->run_forward(x);
   x = ln_f_->run_forward(x);
-  return config_.tie_embeddings ? tied_head_->run_forward(x)
-                                : untied_head_->run_forward(x);
+  Tensor logits = config_.tie_embeddings ? tied_head_->run_forward(x)
+                                         : untied_head_->run_forward(x);
+  if (run_tokens.size() == tokens.size()) return logits;
+  Tensor sliced({count, config_.vocab}, DType::kF32);
+  const auto keep = static_cast<std::size_t>(count * config_.vocab);
+  std::copy(logits.data<float>(), logits.data<float>() + keep,
+            sliced.data<float>());
+  return sliced;
+}
+
+Tensor Gpt::embed_rows(std::span<const std::int32_t> tokens,
+                       std::int64_t start_pos) {
+  const auto n = static_cast<std::int64_t>(tokens.size());
+  ZI_CHECK_MSG(start_pos >= 0 && start_pos + n <= config_.seq,
+               "decode rows [" << start_pos << ", " << (start_pos + n)
+                               << ") exceed the context window "
+                               << config_.seq);
+  Tensor x = wte_->forward_ids(tokens);
+  std::vector<std::int32_t> positions(tokens.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    positions[i] =
+        static_cast<std::int32_t>(start_pos + static_cast<std::int64_t>(i));
+  }
+  Tensor pos = wpe_->forward_ids(positions);
+  add_inplace(x.span<float>(), pos.span<float>());
+  return x;
+}
+
+Tensor Gpt::decode_layer(std::int64_t layer, const Tensor& x,
+                         std::int64_t start_pos, const KvLayerView& kv) {
+  ZI_CHECK_MSG(!raw_blocks_.empty(),
+               "decode_layer requires checkpoint_activations=false");
+  ZI_CHECK(layer >= 0 &&
+           layer < static_cast<std::int64_t>(raw_blocks_.size()));
+  return raw_blocks_[static_cast<std::size_t>(layer)]->forward_kv(x, start_pos,
+                                                                  kv);
+}
+
+Tensor Gpt::lm_logits(const Tensor& x) {
+  Tensor y = ln_f_->run_forward(x);
+  return config_.tie_embeddings ? tied_head_->run_forward(y)
+                                : untied_head_->run_forward(y);
 }
 
 float Gpt::forward_loss(std::span<const std::int32_t> tokens,
                         std::span<const std::int32_t> targets) {
   ZI_CHECK(tokens.size() == targets.size());
   const auto count = static_cast<std::int64_t>(tokens.size());
+  // Training (and its backward over the saved activations) works in whole
+  // context windows — only the forward-only logits path may pad.
+  ZI_CHECK_MSG(count > 0 && count % config_.seq == 0,
+               "forward_loss token count " << count
+                                           << " is not a positive multiple of "
+                                              "the context window "
+                                           << config_.seq);
   Tensor logits = forward_logits(tokens);
 
   saved_probs_ = Tensor({count, config_.vocab}, DType::kF32);

@@ -18,6 +18,7 @@
 #include "model/embedding.hpp"
 #include "model/layernorm.hpp"
 #include "model/module.hpp"
+#include "model/streamable.hpp"
 #include "model/trainable.hpp"
 
 namespace zi {
@@ -56,11 +57,11 @@ class TiedLmHead : public Module {
   Tensor saved_input_;
 };
 
-class Gpt : public Module, public TrainableModel {
+class Gpt : public Module, public TrainableModel, public DecodableModel {
  public:
   explicit Gpt(const GptConfig& config);
 
-  // TrainableModel.
+  // TrainableModel + StreamableModel (one override satisfies both bases).
   Module& module() override { return *this; }
 
   /// Forward over one micro-batch: `tokens` and `targets` are flattened
@@ -71,7 +72,20 @@ class Gpt : public Module, public TrainableModel {
   /// Inference forward: logits [tokens.size(), vocab] without a loss (for
   /// generation / scoring). Fires the same hooks as training, so it works
   /// under any ZeRO placement.
-  Tensor forward_logits(std::span<const std::int32_t> tokens);
+  Tensor forward_logits(std::span<const std::int32_t> tokens) override;
+
+  // DecodableModel: per-layer incremental decode for the serving engine.
+  // Requires checkpoint_activations == false (the serving path never
+  // backpropagates, so wrappers would only add recompute).
+  std::int64_t context_window() const override { return config_.seq; }
+  std::int64_t num_decode_layers() const override { return config_.layers; }
+  std::int64_t kv_dim() const override { return config_.hidden; }
+  std::int64_t vocab_size() const override { return config_.vocab; }
+  Tensor embed_rows(std::span<const std::int32_t> tokens,
+                    std::int64_t start_pos) override;
+  Tensor decode_layer(std::int64_t layer, const Tensor& x,
+                      std::int64_t start_pos, const KvLayerView& kv) override;
+  Tensor lm_logits(const Tensor& x) override;
 
   /// Greedy autoregressive generation: starting from `prompt`, appends
   /// tokens until `length` total. The fixed-context model slides a window
@@ -111,6 +125,9 @@ class Gpt : public Module, public TrainableModel {
   std::vector<std::unique_ptr<Module>> blocks_;  // TransformerBlock or
                                                  // CheckpointWrapper
   std::vector<CheckpointWrapper*> wrappers_;
+  // Typed block pointers for decode_layer(); filled only when
+  // checkpoint_activations == false.
+  std::vector<TransformerBlock*> raw_blocks_;
   std::unique_ptr<LayerNorm> ln_f_;
   std::unique_ptr<TiedLmHead> tied_head_;
   std::unique_ptr<Linear> untied_head_;

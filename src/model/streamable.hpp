@@ -1,0 +1,82 @@
+// Forward-only model interfaces for the streamed-execution core.
+//
+// StreamableModel is what core/stream_engine.hpp drives: a hook-firing
+// forward that produces next-token logits, usable under any ZeRO placement
+// because every parameter access goes through the module hook protocol.
+//
+// DecodableModel extends it with the layer-by-layer incremental decode
+// contract the serving engine (src/serve) needs: embed a span of new rows,
+// push them through one transformer layer at a time against a per-request
+// KV cache, then project the final hidden rows to logits. Exposing the
+// layer granularity is what lets ServeEngine run many request streams
+// through one layer inside a single coordinator reuse window — the layer's
+// weights are gathered once per decode step no matter how many requests
+// are in flight, which is the weight-streaming batching effect the paper's
+// bandwidth analysis (Sec. 4) prices.
+//
+// Bit-exactness contract: all leaf kernels are row-wise and causal, so for
+// any prefix length r, decode_layer() over cached K/V rows [0, r] produces
+// the same bytes as row r of a full-window forward (softmax over the
+// padded tail contributes exactly 0.0). The serving tests pin this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/module.hpp"
+
+namespace zi {
+
+/// One layer's view of a request's KV cache: K and V rows packed
+/// [position, kv_dim] (all heads interleaved exactly like the QKV
+/// activation layout). The spans must cover start_pos + new_rows rows;
+/// decode appends the new rows in place.
+struct KvLayerView {
+  float* k = nullptr;
+  float* v = nullptr;
+};
+
+/// A model the forward-only StreamEngine can execute.
+class StreamableModel {
+ public:
+  virtual ~StreamableModel() = default;
+
+  /// The module tree (hook installation target for the coordinator).
+  virtual Module& module() = 0;
+
+  /// Hook-firing inference forward: logits [tokens.size(), vocab].
+  virtual Tensor forward_logits(std::span<const std::int32_t> tokens) = 0;
+};
+
+/// A model that additionally supports per-layer incremental (KV-cached)
+/// decoding — the contract ServeEngine schedules request streams against.
+class DecodableModel : public StreamableModel {
+ public:
+  /// Maximum context rows (prompt + generated) per request.
+  virtual std::int64_t context_window() const = 0;
+  /// Number of decode_layer() stages.
+  virtual std::int64_t num_decode_layers() const = 0;
+  /// Floats per KV row (one K row and one V row each have this many).
+  virtual std::int64_t kv_dim() const = 0;
+  /// Vocabulary size of the logits produced by lm_logits().
+  virtual std::int64_t vocab_size() const = 0;
+
+  /// Embed `tokens` at absolute positions [start_pos, start_pos+n):
+  /// returns [n, hidden]. Fires the embedding hooks.
+  virtual Tensor embed_rows(std::span<const std::int32_t> tokens,
+                            std::int64_t start_pos) = 0;
+
+  /// Run layer `layer` over `x` ([rows, hidden]) whose rows sit at absolute
+  /// positions [start_pos, start_pos+rows). Reads K/V rows [0, start_pos)
+  /// from `kv`, appends the layer's new K/V rows at [start_pos, ...), and
+  /// returns the layer output. Either start_pos == 0 (prefill) or
+  /// rows == 1 (single-token decode).
+  virtual Tensor decode_layer(std::int64_t layer, const Tensor& x,
+                              std::int64_t start_pos,
+                              const KvLayerView& kv) = 0;
+
+  /// Final norm + LM head over hidden rows: [rows, vocab].
+  virtual Tensor lm_logits(const Tensor& x) = 0;
+};
+
+}  // namespace zi

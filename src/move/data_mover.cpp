@@ -32,6 +32,8 @@ const char* route_name(Route r) {
     case Route::kCpuSpill: return "host>cpu";
     case Route::kNvmeFetch: return "nvme>host";
     case Route::kNvmeSpill: return "host>nvme";
+    case Route::kKvFetch: return "kv>host";
+    case Route::kKvSpill: return "host>kv";
   }
   return "?";
 }
@@ -153,6 +155,39 @@ void DataMover::spill_nvme_sync(const Extent& extent,
                                 std::span<const std::byte> src,
                                 std::uint64_t offset) {
   spill_nvme(extent, src, offset, TransferClass::kLatency).wait();
+}
+
+TransferHandle DataMover::fetch_kv(const Extent& extent,
+                                   std::span<std::byte> dst,
+                                   std::uint64_t offset, TransferClass cls) {
+  ZI_TRACE_SPAN("move", route_name(Route::kKvFetch), span_args(dst.size()));
+  note_issue(Route::kKvFetch, dst.size());
+  Transfer t{Route::kKvFetch, dst.size(), offset};
+  if (sched_.config().enabled) {
+    check_extent(extent, dst.size(), offset, "kv fetch");
+    return TransferHandle(this, t, &sched_,
+                          sched_.submit(Route::kKvFetch, cls,
+                                        extent.offset() + offset, dst.data(),
+                                        dst.size()));
+  }
+  return TransferHandle(this, t, nvme_.read_async(extent, dst, offset));
+}
+
+TransferHandle DataMover::spill_kv(const Extent& extent,
+                                   std::span<const std::byte> src,
+                                   std::uint64_t offset, TransferClass cls) {
+  ZI_TRACE_SPAN("move", route_name(Route::kKvSpill), span_args(src.size()));
+  note_issue(Route::kKvSpill, src.size());
+  Transfer t{Route::kKvSpill, src.size(), offset};
+  if (sched_.config().enabled) {
+    check_extent(extent, src.size(), offset, "kv spill");
+    // Read-only payload; const_cast confined here like spill_nvme.
+    return TransferHandle(
+        this, t, &sched_,
+        sched_.submit(Route::kKvSpill, cls, extent.offset() + offset,
+                      const_cast<std::byte*>(src.data()), src.size()));
+  }
+  return TransferHandle(this, t, nvme_.write_async(extent, src, offset));
 }
 
 void DataMover::fetch_copy(Route r, std::span<std::byte> dst,

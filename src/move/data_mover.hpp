@@ -182,6 +182,22 @@ class DataMover {
   void spill_nvme_sync(const Extent& extent, std::span<const std::byte> src,
                        std::uint64_t offset = 0);
 
+  // --- KV-cache routes (serving decode traffic) ----------------------------
+  // Same mechanics as the NVMe routes (scheduler-routed, coalescible,
+  // rate-limited) but accounted on the dedicated kKvFetch/kKvSpill routes so
+  // weight streaming and KV-cache streaming stay separable in RouteStats and
+  // StepReport. Decode fetches block compute (kLatency); appends of freshly
+  // computed KV rows ride the bulk class.
+
+  /// KV extent[offset, offset+dst.size()) → dst.
+  [[nodiscard]] TransferHandle fetch_kv(
+      const Extent& extent, std::span<std::byte> dst, std::uint64_t offset = 0,
+      TransferClass cls = TransferClass::kLatency);
+  /// src → KV extent[offset, ...).
+  [[nodiscard]] TransferHandle spill_kv(
+      const Extent& extent, std::span<const std::byte> src,
+      std::uint64_t offset = 0, TransferClass cls = TransferClass::kBulk);
+
   // --- memcpy routes (GPU arena / CPU heap ↔ host buffer) ------------------
   // Complete inside the call; counted per route like everything else.
 

@@ -48,12 +48,17 @@ TransferScheduler::Config TransferScheduler::Config::from_env() {
   const std::uint64_t starve = getenv_u64("ZI_MOVE_STARVATION_BOUND",
       static_cast<std::uint64_t>(c.starvation_bound));
   c.starvation_bound = static_cast<int>(starve);
-  // Rates come in MB/s (0 = unlimited); only the NVMe routes are scheduled.
+  // Rates come in MB/s (0 = unlimited). The KV-cache routes share the NVMe
+  // device, so the same knobs bound them per direction.
   const std::uint64_t fetch_mbps = getenv_u64("ZI_MOVE_FETCH_MBPS", 0);
   const std::uint64_t spill_mbps = getenv_u64("ZI_MOVE_SPILL_MBPS", 0);
   c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kNvmeFetch)] =
       fetch_mbps * 1000 * 1000;
   c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kNvmeSpill)] =
+      spill_mbps * 1000 * 1000;
+  c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kKvFetch)] =
+      fetch_mbps * 1000 * 1000;
+  c.rate_bytes_per_sec[static_cast<std::size_t>(Route::kKvSpill)] =
       spill_mbps * 1000 * 1000;
   return c;
 }

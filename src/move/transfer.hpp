@@ -25,11 +25,13 @@ enum class Route : int {
   kCpuSpill = 3,   ///< host buffer → CPU tier
   kNvmeFetch = 4,  ///< NVMe extent → host buffer (async via AioEngine)
   kNvmeSpill = 5,  ///< host buffer → NVMe extent (async via AioEngine)
+  kKvFetch = 6,    ///< KV-cache tier → host buffer (serving decode reads)
+  kKvSpill = 7,    ///< host buffer → KV-cache tier (serving decode appends)
 };
 
-inline constexpr int kNumRoutes = 6;
+inline constexpr int kNumRoutes = 8;
 
-/// "gpu>host", "host>gpu", "cpu>host", "host>cpu", "nvme>host", "host>nvme".
+/// "gpu>host", "host>gpu", ..., "kv>host", "host>kv".
 const char* route_name(Route r);
 
 /// The route that brings `tier` bytes up into a host buffer.
@@ -52,10 +54,14 @@ constexpr Route spill_route(Tier tier) {
   return Route::kCpuSpill;
 }
 
-/// True for the asynchronous NVMe routes (real in-flight I/O); the memcpy
-/// routes complete inside the issuing call.
+/// True for the routes whose tier side may be real in-flight I/O: the NVMe
+/// routes, and the KV-cache routes when the cache extent lives on NVMe
+/// (DataMover::fetch_kv / spill_kv). The memcpy routes complete inside the
+/// issuing call, as do KV transfers against a CPU-resident cache (those go
+/// through the copy path, which tags the kv route for accounting only).
 constexpr bool route_is_async(Route r) {
-  return r == Route::kNvmeFetch || r == Route::kNvmeSpill;
+  return r == Route::kNvmeFetch || r == Route::kNvmeSpill ||
+         r == Route::kKvFetch || r == Route::kKvSpill;
 }
 
 /// True for the host→tier direction (spill routes are the odd enumerators).

@@ -87,6 +87,8 @@ std::string StepReport::to_json_line() const {
   append_kv(out, "move_cpu_spill_bytes", move_cpu_spill_bytes);
   append_kv(out, "move_nvme_fetch_bytes", move_nvme_fetch_bytes);
   append_kv(out, "move_nvme_spill_bytes", move_nvme_spill_bytes);
+  append_kv(out, "move_kv_fetch_bytes", move_kv_fetch_bytes);
+  append_kv(out, "move_kv_spill_bytes", move_kv_spill_bytes);
   append_kv(out, "move_transfers", move_transfers);
   append_kv(out, "move_wait_seconds", move_wait_seconds);
   append_kv(out, "staged_pinned", staged_pinned);

@@ -73,6 +73,8 @@ struct StepReport {
   std::uint64_t move_cpu_spill_bytes = 0;   ///< host>cpu
   std::uint64_t move_nvme_fetch_bytes = 0;  ///< nvme>host
   std::uint64_t move_nvme_spill_bytes = 0;  ///< host>nvme
+  std::uint64_t move_kv_fetch_bytes = 0;    ///< kv>host (serving decode)
+  std::uint64_t move_kv_spill_bytes = 0;    ///< host>kv (serving decode)
   std::uint64_t move_transfers = 0;         ///< transfers issued, all routes
   double move_wait_seconds = 0.0;  ///< eager copy + async wait time
   std::uint64_t staged_pinned = 0;  ///< stage() served from the pinned pool

@@ -1,0 +1,55 @@
+// Per-request latency accounting for the serving engine (src/serve).
+//
+// One RequestReport per completed request, emitted as one JSONL line (the
+// serving analogue of StepReport, but request-scoped: a request's life is
+// queue -> prefill -> decode, not step-scoped compute). A ServeReport
+// aggregates a run: request count, token totals, p50/p99 end-to-end
+// latency, and throughput.
+//
+// Deliberately a separate serializer from obs/metrics.cpp: zilint's
+// doc-drift rule ties the append helper *in metrics.cpp* to DESIGN.md's
+// StepReport table, and request fields are documented in the "Serving
+// engine" section instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zi {
+
+/// Lifecycle accounting for one served request.
+struct RequestReport {
+  std::int64_t request_id = 0;
+  std::int64_t tokens_in = 0;      ///< prompt length
+  std::int64_t tokens_out = 0;     ///< generated tokens
+  double queue_seconds = 0.0;      ///< arrival -> admission
+  double prefill_seconds = 0.0;    ///< admission -> first token
+  double decode_seconds = 0.0;     ///< first token -> completion
+  double total_seconds() const {
+    return queue_seconds + prefill_seconds + decode_seconds;
+  }
+  std::string to_json_line() const;
+};
+
+/// Aggregate over one serving run.
+struct ServeReport {
+  std::int64_t requests = 0;
+  std::int64_t tokens_in = 0;
+  std::int64_t tokens_out = 0;
+  double p50_latency_seconds = 0.0;  ///< end-to-end request latency
+  double p99_latency_seconds = 0.0;
+  double elapsed_seconds = 0.0;      ///< run() wall time
+  double tokens_per_second = 0.0;    ///< tokens_out / elapsed
+  std::string to_json_line() const;
+};
+
+/// Nearest-rank percentile of `values` for p in [0, 100]; 0 when empty.
+/// Takes a copy because it sorts.
+double percentile(std::vector<double> values, double p);
+
+/// Fold per-request reports into the run aggregate.
+ServeReport aggregate_requests(const std::vector<RequestReport>& requests,
+                               double elapsed_seconds);
+
+}  // namespace zi

@@ -1,0 +1,201 @@
+// KV-cache DataMover routes (kKvFetch/kKvSpill) and TieredKvCache: route
+// taxonomy, exactly-once per-route accounting, tier round-trips, and
+// fault-injected reads leaving the pinned pool whole.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/rank_resources.hpp"
+#include "serve/kv_cache.hpp"
+#include "testing/fault_injector.hpp"
+
+namespace zi {
+namespace {
+
+namespace fs = std::filesystem;
+
+class KvRoutesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().clear();
+    dir_ = fs::temp_directory_path() /
+           ("zi_kv_routes_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::instance().clear();
+    fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(KvRoutesTest, RouteTaxonomy) {
+  EXPECT_EQ(kNumRoutes, 8);
+  EXPECT_TRUE(route_is_async(Route::kKvFetch));
+  EXPECT_TRUE(route_is_async(Route::kKvSpill));
+  EXPECT_FALSE(route_is_spill(Route::kKvFetch));
+  EXPECT_TRUE(route_is_spill(Route::kKvSpill));
+  EXPECT_STREQ(route_name(Route::kKvFetch), "kv>host");
+  EXPECT_STREQ(route_name(Route::kKvSpill), "host>kv");
+}
+
+TEST_F(KvRoutesTest, FetchSpillKvRoundTripWithExactAccounting) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  DataMover& mover = res.mover();
+  const Extent ext = res.nvme().allocate(4096);
+
+  std::vector<std::byte> src(1024);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 13);
+  }
+  TransferHandle hs = mover.spill_kv(ext, src, /*offset=*/512);
+  hs.wait();
+  {
+    const auto st = mover.stats();
+    EXPECT_EQ(st.route(Route::kKvSpill).bytes, 1024u);
+    EXPECT_EQ(st.route(Route::kKvSpill).transfers, 1u);
+    EXPECT_EQ(st.route(Route::kKvFetch).bytes, 0u);
+  }
+
+  std::vector<std::byte> dst(1024);
+  TransferHandle hf = mover.fetch_kv(ext, dst, /*offset=*/512);
+  hf.wait();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+
+  // Exactly-once: a second wait() on a completed handle must not add
+  // bytes, transfers, or latency seconds.
+  const auto before = mover.stats();
+  EXPECT_EQ(before.route(Route::kKvFetch).bytes, 1024u);
+  EXPECT_EQ(before.route(Route::kKvFetch).transfers, 1u);
+  hf.wait();
+  hs.wait();
+  const auto after = mover.stats();
+  EXPECT_EQ(after.route(Route::kKvFetch).bytes,
+            before.route(Route::kKvFetch).bytes);
+  EXPECT_EQ(after.route(Route::kKvSpill).bytes,
+            before.route(Route::kKvSpill).bytes);
+  EXPECT_EQ(after.route(Route::kKvFetch).transfers,
+            before.route(Route::kKvFetch).transfers);
+  EXPECT_DOUBLE_EQ(after.route(Route::kKvFetch).seconds,
+                   before.route(Route::kKvFetch).seconds);
+  EXPECT_DOUBLE_EQ(after.route(Route::kKvSpill).seconds,
+                   before.route(Route::kKvSpill).seconds);
+  // KV traffic never leaks into the weight-streaming NVMe routes.
+  EXPECT_EQ(after.route(Route::kNvmeFetch).bytes, 0u);
+  EXPECT_EQ(after.route(Route::kNvmeSpill).bytes, 0u);
+}
+
+TEST_F(KvRoutesTest, KvRangeChecksReject) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  const Extent ext = res.nvme().allocate(1024);
+  // Extents round up to the I/O alignment: overflow past the *actual* size.
+  std::vector<std::byte> buf(ext.size() + 8);
+  EXPECT_THROW({ auto h = res.mover().fetch_kv(ext, buf, /*offset=*/0); },
+               Error);
+}
+
+// One decode round through the NVMe-tier cache: append rows (spill), read
+// them back (fetch), with per-route byte counts matching the row math.
+TEST_F(KvRoutesTest, TieredCacheNvmeRoundTrip) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  constexpr std::int64_t kLayers = 2, kCap = 8, kDim = 4;
+  TieredKvCache cache(res, KvTier::kNvme, kLayers, kCap, kDim, 2);
+  EXPECT_EQ(cache.slot_bytes(),
+            static_cast<std::uint64_t>(kLayers) * 2 * kCap * kDim * 4);
+
+  KvLayerView v = cache.acquire(0, 1, /*used_rows=*/0);  // len 0: no read
+  EXPECT_EQ(res.mover().stats().route(Route::kKvFetch).bytes, 0u);
+  for (std::int64_t i = 0; i < 3 * kDim; ++i) {
+    v.k[i] = static_cast<float>(i) + 0.25f;
+    v.v[i] = -static_cast<float>(i) - 0.5f;
+  }
+  cache.release(0, 1, /*start_row=*/0, /*new_rows=*/3);
+  cache.wait_spills();
+  const std::uint64_t row_bytes = 3 * kDim * sizeof(float);
+  EXPECT_EQ(res.mover().stats().route(Route::kKvSpill).bytes, 2 * row_bytes);
+  EXPECT_EQ(res.mover().stats().route(Route::kKvSpill).transfers, 2u);
+
+  KvLayerView v2 = cache.acquire(0, 1, /*used_rows=*/3);
+  EXPECT_EQ(res.mover().stats().route(Route::kKvFetch).bytes, 2 * row_bytes);
+  for (std::int64_t i = 0; i < 3 * kDim; ++i) {
+    EXPECT_EQ(v2.k[i], static_cast<float>(i) + 0.25f);
+    EXPECT_EQ(v2.v[i], -static_cast<float>(i) - 0.5f);
+  }
+  // Other (slot, layer) coordinates are untouched: layer 0 reads back the
+  // zero-fill... NVMe extents are not pre-zeroed, so instead verify slot
+  // isolation by writing slot 1 and re-reading slot 0.
+  KvLayerView w = cache.acquire(1, 1, 0);
+  for (std::int64_t i = 0; i < kDim; ++i) w.k[i] = 99.0f;
+  cache.release(1, 1, 0, 1);
+  KvLayerView v3 = cache.acquire(0, 1, 3);
+  EXPECT_EQ(v3.k[0], 0.25f);
+}
+
+TEST_F(KvRoutesTest, TieredCacheCpuUsesKvRoutes) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  TieredKvCache cache(res, KvTier::kCpu, 1, 4, 4, 1);
+  KvLayerView v = cache.acquire(0, 0, 0);
+  for (int i = 0; i < 8; ++i) v.k[i] = static_cast<float>(i);
+  cache.release(0, 0, 0, 2);
+  const auto st = res.mover().stats();
+  EXPECT_EQ(st.route(Route::kKvSpill).bytes, 2u * 2 * 4 * sizeof(float));
+  KvLayerView v2 = cache.acquire(0, 0, 2);
+  EXPECT_EQ(v2.k[7], 7.0f);
+  EXPECT_EQ(res.mover().stats().route(Route::kKvFetch).bytes,
+            2u * 2 * 4 * sizeof(float));
+}
+
+TEST_F(KvRoutesTest, TieredCacheGpuIsResidentNoTraffic) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  TieredKvCache cache(res, KvTier::kGpu, 1, 4, 4, 1);
+  KvLayerView v = cache.acquire(0, 0, 0);
+  v.k[0] = 7.0f;
+  cache.release(0, 0, 0, 1);
+  KvLayerView v2 = cache.acquire(0, 0, 1);
+  EXPECT_EQ(v2.k[0], 7.0f);  // same resident memory
+  const auto st = res.mover().stats();
+  EXPECT_EQ(st.route(Route::kKvFetch).bytes, 0u);
+  EXPECT_EQ(st.route(Route::kKvSpill).bytes, 0u);
+}
+
+// A persistent read fault during a KV fetch surfaces as a clean error
+// (after the AIO retry budget), the cache stays usable once the fault
+// clears, and no pinned staging buffer is stranded by the unwind.
+TEST_F(KvRoutesTest, FaultedKvFetchSurfacesAndPinnedPoolStaysWhole) {
+  AioEngine aio;
+  RankResources res(0, aio, 1 * kMiB, 4 * kMiB, dir_, 64 * 1024, 2);
+  {
+    TieredKvCache cache(res, KvTier::kNvme, 1, 4, 4, 1);
+    KvLayerView v = cache.acquire(0, 0, 0);
+    for (int i = 0; i < 8; ++i) {
+      v.k[i] = static_cast<float>(i);
+      v.v[i] = static_cast<float>(-i);
+    }
+    cache.release(0, 0, 0, 2);
+    cache.wait_spills();
+
+    FaultInjector::instance().configure("aio_read:error,after=0");
+    EXPECT_THROW(cache.acquire(0, 0, 2), Error);
+    FaultInjector::instance().clear();
+
+    // Recovery: the same fetch succeeds and the data is intact.
+    KvLayerView v2 = cache.acquire(0, 0, 2);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(v2.k[i], static_cast<float>(i));
+      EXPECT_EQ(v2.v[i], static_cast<float>(-i));
+    }
+  }
+  // The cache (and its staging lease) are gone: every buffer is back.
+  EXPECT_EQ(res.pinned().available(), res.pinned().num_buffers());
+}
+
+}  // namespace
+}  // namespace zi

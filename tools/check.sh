@@ -10,6 +10,7 @@
 #   tools/check.sh sched           # transfer-scheduler suites only (fast loop)
 #   tools/check.sh transport       # Communicator transport suites (inproc+proc)
 #   tools/check.sh straggler       # straggler detection/rebalance suites
+#   tools/check.sh serve           # streamed-execution + serving suites
 #   tools/check.sh tsan            # ZI_SANITIZE=thread build + concurrency tests
 #   tools/check.sh asan            # ZI_SANITIZE=address build + full ctest
 #   tools/check.sh ubsan           # ZI_SANITIZE=undefined build + full ctest
@@ -115,6 +116,21 @@ run_straggler() {
     || FAILED=1
 }
 
+# Tight loop for serving work: the streamed-execution split, KV-cache
+# DataMover routes, continuous-batching engine, and the eval-interleave
+# regression on a plain build. Shares the plain build tree so a follow-up
+# `build` is warm.
+run_serve() {
+  local build="build-check-plain"
+  note "serve (test_kv_routes + test_stream_engine + test_serve_engine + test_eval_interleave)"
+  cmake -B "$build" -S . -DZI_WERROR=ON >/dev/null
+  cmake --build "$build" -j "$JOBS" \
+    --target test_kv_routes test_stream_engine test_serve_engine \
+    test_eval_interleave
+  (cd "$build" && ctest --output-on-failure -j "$JOBS" -L serve) \
+    || FAILED=1
+}
+
 # $1: mode name, $2: ZI_SANITIZE value ('' = off), $3: ctest label ('' = all)
 run_build() {
   local mode="$1" sanitize="$2" label="$3"
@@ -140,13 +156,14 @@ for step in "${STEPS[@]}"; do
     sched)  run_sched ;;
     transport) run_transport ;;
     straggler) run_straggler ;;
+    serve)  run_serve ;;
     # TSan: the concurrency-labeled subset (comm / aio / thread pool /
     # stress / lock tracker) — the full suite under TSan takes too long for
     # a pre-commit loop; CI runs the same subset.
     tsan)   run_build tsan thread concurrency ;;
     asan)   run_build asan address "" ;;
     ubsan)  run_build ubsan undefined "" ;;
-    *) echo "unknown step: $step (known: ${ALL[*]} sched transport straggler)"; exit 2 ;;
+    *) echo "unknown step: $step (known: ${ALL[*]} sched transport straggler serve)"; exit 2 ;;
   esac
 done
 
